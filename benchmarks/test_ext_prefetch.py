@@ -1,0 +1,15 @@
+"""Section 7.2 extension: stride prefetching with assist warps."""
+
+from conftest import run_once
+
+from repro.harness.extensions import prefetch_study
+from repro.harness.report import print_figure
+
+
+def test_prefetch(benchmark, bench_config):
+    result = run_once(benchmark, prefetch_study, config=bench_config)
+    print_figure(result)
+
+    # A latency-bound stream must benefit at some prefetch distance.
+    assert result.summary["max_speedup"] > 1.2
+    assert all(row["prefetches"] > 0 for row in result.rows)

@@ -1,0 +1,15 @@
+"""Figure 2: statically unallocated register-file fraction."""
+
+from conftest import run_once
+
+from repro.harness import figures, print_figure
+
+
+def test_fig2_unallocated_registers(benchmark):
+    result = run_once(benchmark, figures.fig2_unallocated_registers)
+    print_figure(result)
+
+    # Paper: 24% of the register file is unallocated on average.
+    avg = result.summary["average_unallocated"]
+    assert 0.15 <= avg <= 0.35
+    assert len(result.rows) == 27

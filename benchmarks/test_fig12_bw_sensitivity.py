@@ -1,0 +1,26 @@
+"""Figure 12: CABA sensitivity to peak off-chip bandwidth."""
+
+from conftest import FULL, run_once
+
+from repro.harness import figures, print_figure
+
+
+def test_fig12_bw_sensitivity(benchmark, bench_config, compression_apps):
+    apps = compression_apps if FULL else compression_apps[:5]
+    result = run_once(
+        benchmark,
+        figures.fig12_bw_sensitivity,
+        config=bench_config,
+        apps=apps,
+    )
+    print_figure(result)
+
+    s = result.summary
+    # CABA beats its matching baseline at every bandwidth point.
+    assert s["geomean_1/2x-CABA"] > s["geomean_1/2x-Base"]
+    assert s["geomean_1x-CABA"] > s["geomean_1x-Base"]
+    assert s["geomean_2x-CABA"] > s["geomean_2x-Base"]
+    # More bandwidth helps the baseline (memory-bound pool).
+    assert s["geomean_2x-Base"] > s["geomean_1x-Base"] > s["geomean_1/2x-Base"]
+    # Paper: 1x-CABA approaches the effect of doubling the bandwidth.
+    assert s["geomean_1x-CABA"] > 0.7 * s["geomean_2x-Base"]

@@ -1,0 +1,31 @@
+"""Figure 13: CABA-based cache compression (2x/4x tag stores)."""
+
+from conftest import FULL, run_once
+
+from repro.harness import figures, print_figure
+
+
+def test_fig13_cache_compression(benchmark, bench_config, compression_apps):
+    apps = compression_apps if FULL else compression_apps[:6]
+    result = run_once(
+        benchmark,
+        figures.fig13_cache_compression,
+        config=bench_config,
+        apps=apps,
+    )
+    print_figure(result)
+
+    # Relative to plain CABA-BDI (= 1.0 by construction).
+    for row in result.rows:
+        assert row["CABA-BDI"] == 1.0
+    # Paper: effects are app-dependent — some apps gain from extra
+    # effective capacity, while L1 compression can degrade others
+    # (decompression on every hit). Both directions must appear.
+    l1_values = [row["CABA-L1-2x"] for row in result.rows] + [
+        row["CABA-L1-4x"] for row in result.rows
+    ]
+    l2_values = [row["CABA-L2-2x"] for row in result.rows] + [
+        row["CABA-L2-4x"] for row in result.rows
+    ]
+    assert min(l1_values) < 1.0  # L1 compression hurts someone
+    assert max(l2_values) > 1.0  # L2 capacity helps someone

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Bring your own workload: define an application profile and study it.
+
+Shows the full public workflow a downstream user follows to evaluate
+CABA on their own kernel model:
+
+1. describe the kernel (instruction mix, access patterns, data values)
+   as an :class:`~repro.workloads.apps.AppProfile`;
+2. run it under any design point / machine configuration;
+3. inspect the compression behaviour of its data;
+4. sweep a CABA framework knob (the store-buffer size).
+
+Run:
+    python examples/custom_workload.py
+"""
+
+from repro import designs, run_app
+from repro.compression import make_algorithm
+from repro.core.params import CabaParams
+from repro.gpu.config import GPUConfig
+from repro.workloads.apps import AppProfile, OpSpec
+from repro.workloads.data_patterns import make_line_generator
+
+# 1. A histogram-style kernel: streaming reads of narrow integers,
+# scattered read-modify-write updates into an L2-resident table.
+histogram = AppProfile(
+    name="histogram",
+    suite="custom",
+    category="memory",
+    compressible=True,
+    data={"small_int": 0.55, "zeros": 0.2, "narrow4": 0.15, "random": 0.1},
+    body=(
+        OpSpec("load", count=2, pattern="stream"),
+        OpSpec("load", count=1, pattern="reuse", region=5, footprint=0.4),
+        OpSpec("alu", count=4),
+        OpSpec("store", count=1, pattern="random", region=7, footprint=0.4,
+               fanout=2),
+    ),
+    iterations=24,
+    warps_per_block=8,
+    regs_per_thread=16,
+    seed=1234,
+)
+
+
+def study_data() -> None:
+    print("=== 2. How compressible is this workload's data? ===")
+    gen = make_line_generator(histogram.data, 128, seed=histogram.seed)
+    for name in ("bdi", "fpc", "cpack", "bestofall"):
+        algo = make_algorithm(name, 128)
+        sizes = [algo.compress(gen(line)).size_bytes for line in range(300)]
+        ratio = 128 * len(sizes) / sum(sizes)
+        print(f"  {name:10s} byte-granularity ratio {ratio:5.2f}x")
+    print()
+
+
+def run_designs() -> None:
+    print("=== 3. Base vs CABA-BDI on two machine sizes ===")
+    for config, label in ((GPUConfig.small(), "small"),
+                          (GPUConfig.medium(), "medium")):
+        base = run_app(histogram, designs.base(), config)
+        caba = run_app(histogram, designs.caba(), config)
+        print(f"  {label:7s} speedup {caba.ipc / base.ipc:5.2f}x  "
+              f"DRAM busy {base.bandwidth_utilization:5.1%} -> "
+              f"{caba.bandwidth_utilization:5.1%}  "
+              f"RMW reads {caba.raw.memory.stats.rmw_reads}")
+    print("  (the scattered partial-line stores exercise the paper's "
+          "Section 4.2.2 read-modify-write corner)")
+    print()
+
+
+def sweep_store_buffer() -> None:
+    print("=== 4. CABA knob sweep: pending-store buffer size ===")
+    base = run_app(histogram, designs.base())
+    for lines in (2, 8, 16, 64):
+        params = CabaParams(store_buffer_lines=lines)
+        run = run_app(histogram, designs.caba(), caba_params=params)
+        stats = run.raw.memory.stats
+        total = max(1, stats.l1_stores)
+        print(f"  buffer={lines:3d}  speedup {run.ipc / base.ipc:5.2f}x  "
+              f"stores compressed "
+              f"{stats.lines_compressed}/{total}")
+
+
+def main() -> None:
+    print(f"Custom profile: {histogram.name!r} "
+          f"({len(histogram.body)} body steps, "
+          f"{histogram.iterations} iterations/warp)\n")
+    study_data()
+    run_designs()
+    sweep_store_buffer()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Validate a saved experiment JSON against the paper's headline shapes.
+
+A CI-style gate: run the experiment matrix, then check that the saved
+results still reproduce the qualitative claims (design ordering,
+direction of every trend). Exits non-zero and lists the violated checks
+otherwise.
+
+Usage:
+    python scripts/run_experiments.py --config small --out results.json
+    python scripts/check_results.py results.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+class Checker:
+    def __init__(self) -> None:
+        self.failures: list[str] = []
+        self.passed = 0
+
+    def check(self, label: str, condition: bool) -> None:
+        if condition:
+            self.passed += 1
+        else:
+            self.failures.append(label)
+
+    def report(self) -> int:
+        print(f"{self.passed} checks passed, {len(self.failures)} failed")
+        for failure in self.failures:
+            print(f"  FAIL: {failure}")
+        return 1 if self.failures else 0
+
+
+def validate(dump: dict) -> int:
+    c = Checker()
+
+    fig7 = dump.get("fig7", {}).get("summary", {})
+    if fig7:
+        base = fig7.get("geomean_Base", 0)
+        hw_mem = fig7.get("geomean_HW-BDI-Mem", 0)
+        hw = fig7.get("geomean_HW-BDI", 0)
+        caba = fig7.get("geomean_CABA-BDI", 0)
+        ideal = fig7.get("geomean_Ideal-BDI", 0)
+        c.check("fig7: every compressed design beats Base",
+                min(hw_mem, hw, caba, ideal) > base)
+        c.check("fig7: CABA within 15% of Ideal", caba >= 0.85 * ideal)
+        c.check("fig7: CABA above HW-BDI-Mem", caba > hw_mem)
+        c.check("fig7: CABA within 15% of HW-BDI",
+                abs(caba - hw) / hw < 0.15 if hw else False)
+        c.check("fig7: meaningful speedup (>1.15)", caba > 1.15)
+
+    fig8 = dump.get("fig8", {}).get("summary", {})
+    if fig8:
+        c.check("fig8: CABA lowers average utilization",
+                fig8.get("avg_CABA-BDI", 1) < fig8.get("avg_Base", 0))
+
+    fig9 = dump.get("fig9", {}).get("summary", {})
+    if fig9:
+        c.check("fig9: CABA saves energy", fig9.get("avg_CABA-BDI", 1) < 0.95)
+        c.check("fig9: CABA >= Ideal energy",
+                fig9.get("avg_CABA-BDI", 0)
+                >= fig9.get("avg_Ideal-BDI", 1) - 0.02)
+        c.check("fig9: DRAM energy drops >15%",
+                fig9.get("avg_dram_energy_reduction", 0) > 0.15)
+
+    fig10 = dump.get("fig10", {}).get("summary", {})
+    if fig10:
+        fpc = fig10.get("geomean_CABA-FPC", 0)
+        bdi = fig10.get("geomean_CABA-BDI", 0)
+        cpack = fig10.get("geomean_CABA-CPack", 0)
+        c.check("fig10: every algorithm >= 1.0",
+                min(fpc, bdi, cpack) >= 1.0)
+        c.check("fig10: BDI is the best single algorithm",
+                bdi >= max(fpc, cpack))
+
+    fig11 = dump.get("fig11", {})
+    if fig11.get("rows"):
+        by_app = {row["app"]: row for row in fig11["rows"]}
+        for app in ("MM", "PVC", "PVR"):
+            if app in by_app:
+                c.check(f"fig11: {app} favours BDI",
+                        by_app[app]["BDI"] > by_app[app]["FPC"])
+        for row in fig11["rows"]:
+            c.check(f"fig11: BestOfAll envelope on {row['app']}",
+                    row["BESTOFALL"] >= max(
+                        row["BDI"], row["FPC"], row["CPACK"]) - 1e-9)
+
+    fig12 = dump.get("fig12", {}).get("summary", {})
+    if fig12:
+        for scale in ("1/2x", "1x", "2x"):
+            c.check(f"fig12: CABA beats Base at {scale}",
+                    fig12.get(f"geomean_{scale}-CABA", 0)
+                    > fig12.get(f"geomean_{scale}-Base", 1))
+        c.check("fig12: 1x-CABA approaches 2x-Base",
+                fig12.get("geomean_1x-CABA", 0)
+                > 0.7 * fig12.get("geomean_2x-Base", 1))
+
+    fig13 = dump.get("fig13", {})
+    if fig13.get("rows"):
+        l1 = [row["CABA-L1-2x"] for row in fig13["rows"]]
+        l2 = [row["CABA-L2-4x"] for row in fig13["rows"]]
+        c.check("fig13: L1 compression hurts someone", min(l1) < 1.0)
+        c.check("fig13: L2 capacity helps someone", max(l2) > 1.0)
+
+    md = dump.get("mdcache", {}).get("summary", {})
+    if md:
+        c.check("mdcache: high average hit rate",
+                md.get("average_hit_rate", 0) > 0.75)
+
+    fig2 = dump.get("fig2", {}).get("summary", {})
+    if fig2:
+        c.check("fig2: unallocated registers in the paper's range",
+                0.10 <= fig2.get("average_unallocated", 0) <= 0.40)
+
+    memo = dump.get("memo", {})
+    if memo.get("rows"):
+        speedups = [row["speedup"] for row in memo["rows"]]
+        c.check("memo: benefit grows with redundancy",
+                speedups == sorted(speedups))
+
+    return c.report()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("json_path")
+    args = parser.parse_args(argv)
+    with open(args.json_path) as fh:
+        dump = json.load(fh)
+    return validate(dump)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

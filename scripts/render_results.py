@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Render a saved experiment JSON (from run_experiments.py --out) as
+markdown tables and ASCII bar charts.
+
+Usage:
+    python scripts/render_results.py results_small.json [--bars fig7:CABA-BDI]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def _fmt(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_markdown(entry: dict) -> str:
+    columns = entry["columns"]
+    lines = [f"### {entry['title']}", ""]
+    lines.append("| " + " | ".join(columns) + " |")
+    lines.append("|" + "---|" * len(columns))
+    for row in entry["rows"]:
+        lines.append(
+            "| " + " | ".join(_fmt(row.get(c, "")) for c in columns) + " |"
+        )
+    if entry.get("summary"):
+        lines.append("")
+        for key, value in entry["summary"].items():
+            lines.append(f"- `{key}` = {_fmt(value)}")
+    return "\n".join(lines)
+
+
+def render_bar(entry: dict, column: str, width: int = 40) -> str:
+    rows = [r for r in entry["rows"] if column in r]
+    if not rows:
+        return f"(no column {column!r} in {entry['title']})"
+    label_key = entry["columns"][0]
+    peak = max(float(r[column]) for r in rows) or 1.0
+    lines = [f"{entry['title']} — {column}"]
+    for row in rows:
+        value = float(row[column])
+        lines.append(
+            f"  {str(row[label_key]):>10s} "
+            f"{'#' * int(round(width * value / peak)):<{width}s} {value:.3f}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("json_path")
+    parser.add_argument("--only", default=None,
+                        help="comma-separated experiment ids")
+    parser.add_argument("--bars", default=None,
+                        help="id:column pairs to render as bar charts, "
+                             "comma-separated")
+    args = parser.parse_args(argv)
+
+    with open(args.json_path) as fh:
+        dump = json.load(fh)
+    wanted = set(args.only.split(",")) if args.only else None
+
+    for key, entry in dump.items():
+        if not isinstance(entry, dict) or "rows" not in entry:
+            continue
+        if wanted is not None and key not in wanted:
+            continue
+        print(render_markdown(entry))
+        print()
+
+    if args.bars:
+        for pair in args.bars.split(","):
+            exp_id, _, column = pair.partition(":")
+            entry = dump.get(exp_id)
+            if not isinstance(entry, dict):
+                print(f"(unknown experiment {exp_id!r})", file=sys.stderr)
+                continue
+            print(render_bar(entry, column))
+            print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Regenerate every paper table/figure and emit the EXPERIMENTS.md data.
+
+Runs the full experiment matrix (all applications in each study) on the
+chosen machine configuration and prints each reproduced figure as a
+text table, plus a machine-readable JSON dump.
+
+Usage:
+    python scripts/run_experiments.py [--config small|medium|full]
+                                      [--out results.json]
+                                      [--only fig7,fig8,...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.gpu.config import GPUConfig
+from repro.harness import figures
+from repro.harness.extensions import (
+    ablation_study,
+    md_cache_sweep,
+    memoization_study,
+    prefetch_study,
+    scheduler_study,
+)
+from repro.harness.report import render_table
+
+CONFIGS = {
+    "small": GPUConfig.small,
+    "medium": GPUConfig.medium,
+    "full": GPUConfig,
+}
+
+
+def experiment_matrix(config: GPUConfig):
+    """(name, thunk) for every experiment, in paper order."""
+    return [
+        ("tab1", lambda: figures.tab1_system_config()),
+        ("fig1", lambda: figures.fig1_cycle_breakdown(config)),
+        ("fig2", lambda: figures.fig2_unallocated_registers()),
+        ("fig5", lambda: figures.fig5_bdi_example()),
+        ("fig7", lambda: figures.fig7_performance(config)),
+        ("fig8", lambda: figures.fig8_bandwidth(config)),
+        ("fig9", lambda: figures.fig9_energy(config)),
+        ("fig10", lambda: figures.fig10_algorithms(config)),
+        ("fig11", lambda: figures.fig11_compression_ratio()),
+        ("fig12", lambda: figures.fig12_bw_sensitivity(config)),
+        ("fig13", lambda: figures.fig13_cache_compression(config)),
+        ("mdcache", lambda: figures.md_cache_study(config)),
+        ("memo", lambda: memoization_study(config)),
+        ("prefetch", lambda: prefetch_study(config)),
+        ("ablations", lambda: ablation_study(config)),
+        ("scheduler", lambda: scheduler_study(config)),
+        ("mdsweep", lambda: md_cache_sweep(config)),
+    ]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--config", choices=sorted(CONFIGS), default="small")
+    parser.add_argument("--out", default=None, help="JSON output path")
+    parser.add_argument("--only", default=None,
+                        help="comma-separated experiment ids")
+    args = parser.parse_args()
+
+    config = CONFIGS[args.config]()
+    wanted = set(args.only.split(",")) if args.only else None
+    dump = {"config": args.config}
+
+    for name, thunk in experiment_matrix(config):
+        if wanted is not None and name not in wanted:
+            continue
+        start = time.time()
+        result = thunk()
+        elapsed = time.time() - start
+        print()
+        print(render_table(result))
+        print(f"[{name} took {elapsed:.1f}s]")
+        sys.stdout.flush()
+        dump[name] = {
+            "title": result.title,
+            "columns": result.columns,
+            "rows": result.rows,
+            "summary": result.summary,
+            "seconds": round(elapsed, 1),
+        }
+
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(dump, fh, indent=2, default=str)
+        print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""CABA: Core-Assisted Bottleneck Acceleration in GPUs (ISCA 2015).
+
+A full-system reproduction of Vijaykumar et al.'s assist-warp framework
+for flexible data compression in GPUs, built on a from-scratch
+cycle-level GPU simulator.
+
+Quickstart::
+
+    from repro import run_app, designs
+
+    base = run_app("PVC", designs.base())
+    caba = run_app("PVC", designs.caba("bdi"))
+    print(f"speedup: {caba.ipc / base.ipc:.2f}x")
+
+Packages:
+    - :mod:`repro.compression` -- BDI / FPC / C-Pack / BestOfAll algorithms
+    - :mod:`repro.gpu` -- SIMT cores, warp schedulers, the simulator
+    - :mod:`repro.memory` -- L1/L2 caches, crossbar, GDDR5, MD cache
+    - :mod:`repro.core` -- the CABA framework (AWS/AWC/AWT/AWB, subroutines)
+    - :mod:`repro.workloads` -- the 27-application synthetic pool
+    - :mod:`repro.energy` -- activity-based energy model
+    - :mod:`repro.harness` -- per-figure experiment harnesses
+"""
+
+from repro import design as designs
+from repro.design import DesignPoint
+from repro.gpu.config import GPUConfig
+from repro.harness.runner import RunResult, clear_caches, geomean, run_app, speedup
+from repro.workloads.apps import APPLICATIONS, COMPRESSION_APPS, FIGURE1_APPS
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "APPLICATIONS",
+    "COMPRESSION_APPS",
+    "DesignPoint",
+    "FIGURE1_APPS",
+    "GPUConfig",
+    "RunResult",
+    "clear_caches",
+    "designs",
+    "geomean",
+    "run_app",
+    "speedup",
+]

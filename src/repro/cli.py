@@ -1,0 +1,207 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+    list-apps            show the workload pool and its characteristics
+    run APP              simulate one application under one design
+    compare APP          compare all five Figure-7 designs on one app
+    figure ID            regenerate one paper figure/table
+    compress FILE|-      compress raw bytes line by line and report ratios
+
+The CLI is a thin layer over the public API (``repro.run_app``,
+``repro.harness.figures``), so everything it prints is reproducible from
+Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import design as designs
+from repro.compression import ALGORITHMS, make_algorithm
+from repro.gpu.config import GPUConfig
+from repro.harness import figures
+from repro.harness.report import render_table
+from repro.harness.runner import run_app
+from repro.workloads.apps import APPLICATIONS, get_app
+
+CONFIGS = {
+    "small": GPUConfig.small,
+    "medium": GPUConfig.medium,
+    "full": GPUConfig,
+}
+
+DESIGNS = {
+    "base": lambda algo: designs.base(),
+    "hw-mem": designs.hw_mem,
+    "hw": designs.hw,
+    "caba": designs.caba,
+    "caba-l2u": designs.caba_l2_uncompressed,
+    "ideal": designs.ideal,
+}
+
+FIGURES = {
+    "fig1": lambda cfg: figures.fig1_cycle_breakdown(cfg),
+    "fig2": lambda cfg: figures.fig2_unallocated_registers(),
+    "fig5": lambda cfg: figures.fig5_bdi_example(),
+    "fig7": lambda cfg: figures.fig7_performance(cfg),
+    "fig8": lambda cfg: figures.fig8_bandwidth(cfg),
+    "fig9": lambda cfg: figures.fig9_energy(cfg),
+    "fig10": lambda cfg: figures.fig10_algorithms(cfg),
+    "fig11": lambda cfg: figures.fig11_compression_ratio(),
+    "fig12": lambda cfg: figures.fig12_bw_sensitivity(cfg),
+    "fig13": lambda cfg: figures.fig13_cache_compression(cfg),
+    "tab1": lambda cfg: figures.tab1_system_config(),
+    "mdcache": lambda cfg: figures.md_cache_study(cfg),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CABA (ISCA 2015) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-apps", help="show the workload pool")
+
+    run_p = sub.add_parser("run", help="simulate one application")
+    run_p.add_argument("app", help="application name (see list-apps)")
+    run_p.add_argument("--design", choices=sorted(DESIGNS), default="caba")
+    run_p.add_argument("--algorithm", choices=sorted(ALGORITHMS),
+                       default="bdi")
+    run_p.add_argument("--config", choices=sorted(CONFIGS), default="small")
+    run_p.add_argument("--bandwidth-scale", type=float, default=1.0)
+
+    cmp_p = sub.add_parser("compare", help="compare the five designs")
+    cmp_p.add_argument("app")
+    cmp_p.add_argument("--algorithm", choices=sorted(ALGORITHMS),
+                       default="bdi")
+    cmp_p.add_argument("--config", choices=sorted(CONFIGS), default="small")
+
+    fig_p = sub.add_parser("figure", help="regenerate a paper figure")
+    fig_p.add_argument("id", choices=sorted(FIGURES))
+    fig_p.add_argument("--config", choices=sorted(CONFIGS), default="small")
+
+    comp_p = sub.add_parser(
+        "compress", help="compress a file's bytes line by line"
+    )
+    comp_p.add_argument("path", help="input file, or '-' for stdin")
+    comp_p.add_argument("--line-size", type=int, default=128)
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+def _cmd_list_apps() -> int:
+    print(f"{'name':6s} {'suite':9s} {'bound':8s} {'compr.':7s} "
+          f"{'warps/blk':>9s} {'regs':>5s} {'iters':>6s}")
+    for name in sorted(APPLICATIONS):
+        app = APPLICATIONS[name]
+        print(f"{name:6s} {app.suite:9s} {app.category:8s} "
+              f"{'yes' if app.compressible else 'no':7s} "
+              f"{app.warps_per_block:9d} {app.regs_per_thread:5d} "
+              f"{app.iterations:6d}")
+    return 0
+
+
+def _resolve_design(name: str, algorithm: str):
+    return DESIGNS[name](algorithm)
+
+
+def _cmd_run(args) -> int:
+    get_app(args.app)  # early, friendly error for bad names
+    config = CONFIGS[args.config]()
+    if args.bandwidth_scale != 1.0:
+        config = config.with_bandwidth_scale(args.bandwidth_scale)
+    design = _resolve_design(args.design, args.algorithm)
+    run = run_app(args.app, design, config)
+    print(f"app                : {run.app}")
+    print(f"design             : {run.design}")
+    print(f"cycles             : {run.cycles}")
+    print(f"IPC                : {run.ipc:.4f}")
+    print(f"DRAM bus busy      : {run.bandwidth_utilization:.1%}")
+    print(f"compression ratio  : {run.compression_ratio:.2f}x")
+    print(f"energy             : {run.energy.total * 1e3:.3f} mJ")
+    print(f"assist instructions: {run.assist_instructions}")
+    if run.md_cache_hit_rate is not None:
+        print(f"MD-cache hit rate  : {run.md_cache_hit_rate:.1%}")
+    if run.truncated:
+        print("warning: run hit the max-cycle guard (results truncated)")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    get_app(args.app)
+    config = CONFIGS[args.config]()
+    points = [
+        designs.base(),
+        designs.hw_mem(args.algorithm),
+        designs.hw(args.algorithm),
+        designs.caba(args.algorithm),
+        designs.ideal(args.algorithm),
+    ]
+    base = run_app(args.app, points[0], config)
+    print(f"{'design':12s} {'speedup':>8s} {'bw':>7s} {'energy':>8s}")
+    for point in points:
+        run = run_app(args.app, point, config)
+        print(f"{point.name:12s} {run.ipc / base.ipc:8.2f} "
+              f"{run.bandwidth_utilization:7.1%} "
+              f"{run.energy.total / base.energy.total:8.2f}")
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    config = CONFIGS[args.config]()
+    result = FIGURES[args.id](config)
+    print(render_table(result))
+    return 0
+
+
+def _cmd_compress(args) -> int:
+    if args.path == "-":
+        data = sys.stdin.buffer.read()
+    else:
+        with open(args.path, "rb") as fh:
+            data = fh.read()
+    if not data:
+        print("no input data", file=sys.stderr)
+        return 1
+    line_size = args.line_size
+    if len(data) % line_size:
+        data += bytes(line_size - len(data) % line_size)
+    print(f"{len(data)} bytes in {len(data) // line_size} lines "
+          f"of {line_size} B")
+    for name in sorted(ALGORITHMS):
+        algo = make_algorithm(name, line_size)
+        compressed = sum(
+            algo.compress(data[i:i + line_size]).size_bytes
+            for i in range(0, len(data), line_size)
+        )
+        print(f"  {name:10s} {len(data) / compressed:6.2f}x "
+              f"({compressed} bytes)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "list-apps":
+            return _cmd_list_apps()
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "compare":
+            return _cmd_compare(args)
+        if args.command == "figure":
+            return _cmd_figure(args)
+        if args.command == "compress":
+            return _cmd_compress(args)
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,230 @@
+"""Base-Delta-Immediate (BDI) compression.
+
+BDI (Pekhimenko et al., PACT 2012) observes that many cache lines hold
+values with a low dynamic range. Such a line can be stored as one common
+*base* plus an array of narrow *deltas*. A second, implicit base of zero
+captures small immediate values mixed into the same line; a per-word
+bitmask records which base each word uses.
+
+The CABA paper uses BDI as its flagship algorithm because decompression is
+a single masked vector addition — a natural fit for the SIMT pipeline
+(Section 4.1.1). The worked example in Figure 5 (a 64-byte line from PVC
+compressed to 17 bytes with an 8-byte base and 1-byte deltas) is
+reproduced in ``examples/quickstart.py`` and in the test suite.
+
+Compressed-size accounting follows the original paper: for a base-``b``
+delta-``d`` encoding over ``n`` words the size is ``b + n*d + ceil(n/8)``
+bytes (base + deltas + base-selection bitmask). The encoding selector
+itself travels out-of-band (in the tag / metadata cache), as in both
+papers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.compression.base import (
+    CompressedLine,
+    CompressionAlgorithm,
+    CompressionError,
+    DEFAULT_LINE_SIZE,
+)
+
+
+@dataclass(frozen=True)
+class BdiEncoding:
+    """One (base size, delta size) point in the BDI encoding space."""
+
+    name: str
+    base_bytes: int
+    delta_bytes: int
+
+    def compressed_size(self, line_size: int) -> int:
+        """Compressed size in bytes for a line of ``line_size`` bytes."""
+        n_words = line_size // self.base_bytes
+        mask_bytes = math.ceil(n_words / 8)
+        return self.base_bytes + n_words * self.delta_bytes + mask_bytes
+
+
+#: The eight encodings of the original proposal, best (smallest) first
+#: within each word size. ZEROS and REPEAT are the two special cases.
+BDI_ENCODINGS: tuple[BdiEncoding, ...] = (
+    BdiEncoding("B8D1", base_bytes=8, delta_bytes=1),
+    BdiEncoding("B8D2", base_bytes=8, delta_bytes=2),
+    BdiEncoding("B8D4", base_bytes=8, delta_bytes=4),
+    BdiEncoding("B4D1", base_bytes=4, delta_bytes=1),
+    BdiEncoding("B4D2", base_bytes=4, delta_bytes=2),
+    BdiEncoding("B2D1", base_bytes=2, delta_bytes=1),
+)
+
+#: Size in bytes of the all-zeros and repeated-value encodings.
+ZEROS_SIZE = 1
+REPEAT_SIZE = 8
+
+
+@dataclass(frozen=True)
+class _BdiState:
+    """Decompression state: base, per-word deltas and base-selection mask."""
+
+    word_bytes: int
+    base: int
+    deltas: tuple[int, ...]
+    mask: tuple[bool, ...]  # True -> word uses `base`, False -> zero base
+
+
+def _split_words(data: bytes, word_bytes: int) -> list[int]:
+    """Interpret ``data`` as little-endian unsigned words."""
+    return [
+        int.from_bytes(data[i : i + word_bytes], "little")
+        for i in range(0, len(data), word_bytes)
+    ]
+
+
+def _fits_signed(value: int, n_bytes: int) -> bool:
+    """Whether ``value`` fits in an ``n_bytes`` two's-complement field."""
+    bound = 1 << (8 * n_bytes - 1)
+    return -bound <= value < bound
+
+
+def _try_encode(
+    words: Sequence[int], word_bytes: int, delta_bytes: int
+) -> _BdiState | None:
+    """Attempt a two-base (explicit + implicit zero) BDI encoding.
+
+    The explicit base is the first word that does not fit as a narrow
+    immediate from the zero base, exactly as in the original hardware
+    algorithm (which must pick the base in a single pass).
+    """
+    base: int | None = None
+    deltas: list[int] = []
+    mask: list[bool] = []
+    for word in words:
+        if _fits_signed(word, delta_bytes):
+            deltas.append(word)
+            mask.append(False)
+            continue
+        if base is None:
+            base = word
+        delta = word - base
+        if not _fits_signed(delta, delta_bytes):
+            return None
+        deltas.append(delta)
+        mask.append(True)
+    return _BdiState(
+        word_bytes=word_bytes,
+        base=base if base is not None else 0,
+        deltas=tuple(deltas),
+        mask=tuple(mask),
+    )
+
+
+class BdiCompressor(CompressionAlgorithm):
+    """Base-Delta-Immediate compressor over one cache line.
+
+    Args:
+        line_size: Uncompressed line size in bytes.
+        encodings: Subset of :data:`BDI_ENCODINGS` to try. The CABA
+            compression assist warp can be configured with fewer encodings
+            to shorten the subroutine (Section 4.1.3 notes that a few
+            encodings capture almost all redundancy).
+    """
+
+    name = "bdi"
+    hw_decompression_latency = 1
+    hw_compression_latency = 5
+
+    def __init__(
+        self,
+        line_size: int = DEFAULT_LINE_SIZE,
+        encodings: Sequence[BdiEncoding] = BDI_ENCODINGS,
+    ) -> None:
+        super().__init__(line_size)
+        bad = [e for e in encodings if line_size % e.base_bytes != 0]
+        if bad:
+            raise CompressionError(
+                f"encodings {', '.join(e.name for e in bad)} do not divide "
+                f"a {line_size}-byte line"
+            )
+        self.encodings = tuple(encodings)
+
+    # ------------------------------------------------------------------
+    # Compression
+    # ------------------------------------------------------------------
+    def compress(self, data: bytes) -> CompressedLine:
+        self._check_input(data)
+        special = self._try_special(data)
+        if special is not None:
+            return special
+
+        best: CompressedLine | None = None
+        for encoding in self.encodings:
+            size = encoding.compressed_size(self.line_size)
+            if size >= self.line_size:
+                continue
+            if best is not None and size >= best.size_bytes:
+                continue
+            words = _split_words(data, encoding.base_bytes)
+            state = _try_encode(words, encoding.base_bytes, encoding.delta_bytes)
+            if state is None:
+                continue
+            best = CompressedLine(
+                algorithm=self.name,
+                encoding=encoding.name,
+                size_bytes=size,
+                line_size=self.line_size,
+                state=state,
+            )
+        return best if best is not None else self._uncompressed(data)
+
+    def _try_special(self, data: bytes) -> CompressedLine | None:
+        """The ZEROS and REPEAT special encodings."""
+        if not any(data):
+            return CompressedLine(
+                algorithm=self.name,
+                encoding="ZEROS",
+                size_bytes=ZEROS_SIZE,
+                line_size=self.line_size,
+                state=None,
+            )
+        first = data[:8]
+        if data == first * (self.line_size // 8):
+            return CompressedLine(
+                algorithm=self.name,
+                encoding="REPEAT",
+                size_bytes=REPEAT_SIZE,
+                line_size=self.line_size,
+                state=int.from_bytes(first, "little"),
+            )
+        return None
+
+    # ------------------------------------------------------------------
+    # Decompression
+    # ------------------------------------------------------------------
+    def decompress(self, line: CompressedLine) -> bytes:
+        self._check_line(line)
+        if line.encoding == "uncompressed":
+            return bytes(line.state)
+        if line.encoding == "ZEROS":
+            return bytes(self.line_size)
+        if line.encoding == "REPEAT":
+            word = int(line.state).to_bytes(8, "little")
+            return word * (self.line_size // 8)
+        state: _BdiState = line.state
+        modulus = 1 << (8 * state.word_bytes)
+        out = bytearray()
+        for delta, uses_base in zip(state.deltas, state.mask):
+            base = state.base if uses_base else 0
+            out += ((base + delta) % modulus).to_bytes(state.word_bytes, "little")
+        return bytes(out)
+
+    # ------------------------------------------------------------------
+    # Introspection helpers used by the assist-warp subroutine generator
+    # ------------------------------------------------------------------
+    def encoding_for(self, name: str) -> BdiEncoding:
+        """Look up one of this compressor's encodings by name."""
+        for encoding in self.encodings:
+            if encoding.name == name:
+                return encoding
+        raise CompressionError(f"unknown BDI encoding {name!r}")

@@ -1,0 +1,87 @@
+"""The idealized BestOfAll selector (Section 6.3, CABA-BestOfAll).
+
+For every cache line, pick whichever of BDI, FPC and C-Pack yields the
+smallest compressed size, with no selection overhead. The paper uses this
+design to show that per-line algorithm diversity exists even within one
+application (e.g. MUM and KM gain over every single-algorithm design).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.compression.base import (
+    CompressedLine,
+    CompressionAlgorithm,
+    CompressionError,
+    DEFAULT_LINE_SIZE,
+)
+from repro.compression.bdi import BdiCompressor
+from repro.compression.cpack import CPackCompressor
+from repro.compression.fpc import FpcCompressor
+
+
+class BestOfAllCompressor(CompressionAlgorithm):
+    """Per-line oracle over a set of component algorithms.
+
+    ``compress`` runs every component and keeps the smallest result;
+    ``decompress`` dispatches on the winning component's name.
+    """
+
+    name = "bestofall"
+    # Idealized: no extra hardware latency beyond the winning algorithm's.
+    hw_decompression_latency = 1
+    hw_compression_latency = 5
+
+    def __init__(
+        self,
+        line_size: int = DEFAULT_LINE_SIZE,
+        components: Sequence[CompressionAlgorithm] | None = None,
+    ) -> None:
+        super().__init__(line_size)
+        if components is None:
+            components = (
+                BdiCompressor(line_size),
+                FpcCompressor(line_size),
+                CPackCompressor(line_size),
+            )
+        if not components:
+            raise CompressionError("BestOfAll needs at least one component")
+        mismatched = [c.name for c in components if c.line_size != line_size]
+        if mismatched:
+            raise CompressionError(
+                f"components {mismatched} use a different line size"
+            )
+        self.components = tuple(components)
+        self._by_name = {c.name: c for c in self.components}
+
+    def compress(self, data: bytes) -> CompressedLine:
+        self._check_input(data)
+        best = min(
+            (component.compress(data) for component in self.components),
+            key=lambda line: line.size_bytes,
+        )
+        if not best.is_compressed:
+            # No component shrank the line: report a plain uncompressed
+            # result (a "bdi:uncompressed" tag would wrongly look like a
+            # compressed line to the memory system).
+            return self._uncompressed(data)
+        return CompressedLine(
+            algorithm=self.name,
+            encoding=f"{best.algorithm}:{best.encoding}",
+            size_bytes=best.size_bytes,
+            line_size=best.line_size,
+            state=best,
+        )
+
+    def decompress(self, line: CompressedLine) -> bytes:
+        self._check_line(line)
+        if line.encoding == "uncompressed":
+            return bytes(line.state)
+        inner: CompressedLine = line.state
+        component = self._by_name.get(inner.algorithm)
+        if component is None:
+            raise CompressionError(
+                f"no component named {inner.algorithm!r} in this selector"
+            )
+        return component.decompress(inner)

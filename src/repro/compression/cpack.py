@@ -1,0 +1,158 @@
+"""C-Pack: dictionary-based cache compression.
+
+C-Pack (Chen et al., 2010) compresses each 32-bit word against a small
+dictionary of recently seen uncompressed words. A word can match a
+dictionary entry fully, partially (its high bytes), be all zeros, be three
+zero bytes plus one literal byte, or be stored verbatim (which also
+inserts it into the dictionary).
+
+Pattern codes and output widths follow the original paper:
+
+===========  =======  ====================================  ===========
+pattern      code     meaning                               output bits
+===========  =======  ====================================  ===========
+``zzzz``     ``00``   all-zero word                         2
+``xxxx``     ``01``   verbatim word (pushed to dictionary)  2 + 32
+``mmmm``     ``10``   full dictionary match                 2 + 4
+``mmxx``     ``1100`` high 2 bytes match a dict entry       4 + 4 + 16
+``mmmx``     ``1101`` high 3 bytes match a dict entry       4 + 4 + 8
+``zzzx``     ``1110`` three zero bytes + 1 literal byte     4 + 8
+===========  =======  ====================================  ===========
+
+The CABA adaptation (Section 4.1.3) places the dictionary entries right
+after the line-head metadata so an assist warp can fetch them upfront;
+like the FPC adaptation this changes layout, not size, so the model keeps
+only the size arithmetic and a byte-exact symbol stream.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.compression.base import (
+    CompressedLine,
+    CompressionAlgorithm,
+    DEFAULT_LINE_SIZE,
+)
+
+#: Number of 32-bit entries in the compression dictionary (64 bytes).
+DICTIONARY_ENTRIES = 16
+
+_PATTERN_BITS = {
+    "zzzz": 2,
+    "xxxx": 2 + 32,
+    "mmmm": 2 + 4,
+    "mmxx": 4 + 4 + 16,
+    "mmmx": 4 + 4 + 8,
+    "zzzx": 4 + 8,
+}
+
+
+@dataclass(frozen=True)
+class _Symbol:
+    """One compressed word: pattern, dictionary index and literal bits."""
+
+    pattern: str
+    dict_index: int = 0
+    literal: int = 0
+
+
+class CPackCompressor(CompressionAlgorithm):
+    """C-Pack compression over one cache line.
+
+    The dictionary starts empty for every line (lines must be
+    independently decompressible when they travel over the memory bus)
+    and fills FIFO with verbatim words during compression, mirrored
+    exactly during decompression.
+    """
+
+    name = "cpack"
+    hw_decompression_latency = 8
+    hw_compression_latency = 12
+
+    def __init__(self, line_size: int = DEFAULT_LINE_SIZE) -> None:
+        super().__init__(line_size)
+
+    # ------------------------------------------------------------------
+    # Compression
+    # ------------------------------------------------------------------
+    def compress(self, data: bytes) -> CompressedLine:
+        self._check_input(data)
+        dictionary: list[int] = []
+        symbols: list[_Symbol] = []
+        bits = 0
+        for offset in range(0, self.line_size, 4):
+            word = int.from_bytes(data[offset : offset + 4], "little")
+            symbol = self._encode(word, dictionary)
+            symbols.append(symbol)
+            bits += _PATTERN_BITS[symbol.pattern]
+        size = max(1, math.ceil(bits / 8))
+        if size >= self.line_size:
+            return self._uncompressed(data)
+        return CompressedLine(
+            algorithm=self.name,
+            encoding="cpack",
+            size_bytes=size,
+            line_size=self.line_size,
+            state=tuple(symbols),
+        )
+
+    @staticmethod
+    def _push(dictionary: list[int], word: int) -> None:
+        """FIFO insertion bounded by the hardware dictionary size."""
+        dictionary.append(word)
+        if len(dictionary) > DICTIONARY_ENTRIES:
+            dictionary.pop(0)
+
+    def _encode(self, word: int, dictionary: list[int]) -> _Symbol:
+        if word == 0:
+            return _Symbol("zzzz")
+        if word & 0xFFFFFF00 == 0:
+            return _Symbol("zzzx", literal=word & 0xFF)
+        best: _Symbol | None = None
+        for index, entry in enumerate(dictionary):
+            if entry == word:
+                best = _Symbol("mmmm", dict_index=index)
+                break
+            if best is not None and best.pattern == "mmmx":
+                continue
+            if entry & 0xFFFFFF00 == word & 0xFFFFFF00:
+                best = _Symbol("mmmx", dict_index=index, literal=word & 0xFF)
+            elif best is None and entry & 0xFFFF0000 == word & 0xFFFF0000:
+                best = _Symbol("mmxx", dict_index=index, literal=word & 0xFFFF)
+        if best is not None:
+            return best
+        self._push(dictionary, word)
+        return _Symbol("xxxx", literal=word)
+
+    # ------------------------------------------------------------------
+    # Decompression
+    # ------------------------------------------------------------------
+    def decompress(self, line: CompressedLine) -> bytes:
+        self._check_line(line)
+        if line.encoding == "uncompressed":
+            return bytes(line.state)
+        dictionary: list[int] = []
+        out = bytearray()
+        for symbol in line.state:
+            word = self._decode(symbol, dictionary)
+            out += word.to_bytes(4, "little")
+        return bytes(out)
+
+    def _decode(self, symbol: _Symbol, dictionary: list[int]) -> int:
+        if symbol.pattern == "zzzz":
+            return 0
+        if symbol.pattern == "zzzx":
+            return symbol.literal
+        if symbol.pattern == "xxxx":
+            self._push(dictionary, symbol.literal)
+            return symbol.literal
+        entry = dictionary[symbol.dict_index]
+        if symbol.pattern == "mmmm":
+            return entry
+        if symbol.pattern == "mmmx":
+            return (entry & 0xFFFFFF00) | symbol.literal
+        if symbol.pattern == "mmxx":
+            return (entry & 0xFFFF0000) | symbol.literal
+        raise AssertionError(f"unhandled C-Pack pattern {symbol.pattern}")

@@ -1,0 +1,77 @@
+"""The Assist Warp Store (AWS, Section 3.3).
+
+An on-chip buffer, preloaded before kernel launch, holding the
+instruction sequences of every enabled assist-warp subroutine. It is
+indexed by subroutine ID (SR.ID) plus instruction ID (Inst.ID); here the
+SR.ID is assigned at registration and looked up by (task, encoding) —
+matching Section 4.2.1, where the AWS is indexed by the compression
+encoding at the head of the cache line plus a load/store bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.isa import AssistProgram
+
+
+class AwsCapacityError(RuntimeError):
+    """Raised when subroutines exceed the on-chip store capacity."""
+
+
+@dataclass(frozen=True)
+class StoredSubroutine:
+    """One AWS entry."""
+
+    sr_id: int
+    task: str  # "decompress" | "compress" | custom (memoization, ...)
+    encoding: str  # algorithm encoding or "" for task-global subroutines
+    program: AssistProgram
+
+
+class AssistWarpStore:
+    """Fixed-capacity on-chip subroutine storage."""
+
+    def __init__(self, max_subroutines: int = 32, max_instructions: int = 512):
+        self.max_subroutines = max_subroutines
+        self.max_instructions = max_instructions
+        self._by_key: dict[tuple[str, str], StoredSubroutine] = {}
+        self._instructions_used = 0
+
+    def register(self, task: str, encoding: str, program: AssistProgram) -> int:
+        """Preload a subroutine; returns its SR.ID."""
+        key = (task, encoding)
+        existing = self._by_key.get(key)
+        if existing is not None:
+            return existing.sr_id
+        if len(self._by_key) >= self.max_subroutines:
+            raise AwsCapacityError(
+                f"AWS full: {self.max_subroutines} subroutines already stored"
+            )
+        if self._instructions_used + len(program) > self.max_instructions:
+            raise AwsCapacityError(
+                f"AWS instruction storage exhausted "
+                f"({self._instructions_used} + {len(program)} "
+                f"> {self.max_instructions})"
+            )
+        sr_id = len(self._by_key)
+        self._by_key[key] = StoredSubroutine(sr_id, task, encoding, program)
+        self._instructions_used += len(program)
+        return sr_id
+
+    def lookup(self, task: str, encoding: str = "") -> StoredSubroutine:
+        try:
+            return self._by_key[(task, encoding)]
+        except KeyError:
+            raise KeyError(f"no subroutine registered for ({task!r}, {encoding!r})")
+
+    def contains(self, task: str, encoding: str = "") -> bool:
+        return (task, encoding) in self._by_key
+
+    @property
+    def subroutine_count(self) -> int:
+        return len(self._by_key)
+
+    @property
+    def instructions_used(self) -> int:
+        return self._instructions_used

@@ -1,0 +1,81 @@
+"""The SM-facing assist-controller interface.
+
+The SM pipeline talks to whatever CABA application is installed (data
+compression, memoization, prefetching) through this small surface: a
+per-cycle ``tick``, the two issue hooks (high priority preempts parent
+warps, low priority fills idle slots), trigger callbacks, and
+``finish`` for completed assist warps. Concrete applications override
+the hooks they need; everything defaults to "no work".
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.gpu.warp import WarpContext
+
+
+class AssistController:
+    """Base class for per-SM CABA applications."""
+
+    def __init__(self, sm) -> None:
+        self.sm = sm
+
+    # --- per-cycle hooks ------------------------------------------------
+    def tick(self, cycle: int) -> None:
+        """Called at the start of every SM cycle (deployment etc.)."""
+
+    def observe(self, issued: int, slots: int) -> None:
+        """Utilization feedback for throttling decisions."""
+
+    def has_pending_work(self) -> bool:
+        """Whether the SM must keep ticking cycle by cycle."""
+        return False
+
+    # --- issue hooks ------------------------------------------------------
+    def issue_high(self, sched: int, cycle: int) -> bool:
+        """Try to issue a high-priority assist instruction; True if issued."""
+        return False
+
+    def issue_low(self, sched: int, cycle: int) -> bool:
+        """Try to issue a low-priority assist instruction into an
+        otherwise-idle slot; True if issued."""
+        return False
+
+    # --- triggers ---------------------------------------------------------
+    def request_decompression(
+        self,
+        warp: WarpContext,
+        fill,
+        callback: Callable[[], None],
+        cycle: int,
+    ) -> None:
+        """A compressed line needs expanding before ``callback`` may fire."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not handle decompression triggers"
+        )
+
+    def pending_decompression(self, line: int) -> bool:
+        return False
+
+    def attach_to_decompression(self, line: int, callback) -> None:
+        raise NotImplementedError
+
+    def buffer_store(self, warp: WarpContext, lines, full_line: bool, cycle: int) -> None:
+        """Stage store lines for compression before writeback."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not handle store buffering"
+        )
+
+    def on_global_load(self, warp: WarpContext, lines, cycle: int) -> None:
+        """Observe a demand load (prefetcher training hook)."""
+
+    def on_memo_point(self, warp: WarpContext, region_len: int, cycle: int) -> None:
+        """A warp reached a memoizable region marker."""
+
+    # --- completion ---------------------------------------------------------
+    def finish(self, assist) -> None:
+        """The last instruction of ``assist`` wrote back."""
+
+    def flush(self, cycle: int) -> None:
+        """Kernel end: drain any buffered work."""

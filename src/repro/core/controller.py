@@ -1,0 +1,486 @@
+"""The Assist Warp Controller (AWC), Table (AWT) and Buffer (AWB).
+
+One :class:`CabaController` lives in each SM and implements the
+mechanism of Sections 3.3-3.4 and the compression walkthrough of
+Section 4.2:
+
+* **Triggers.** Compressed L1 fills trigger *high-priority* (blocking)
+  decompression assist warps; buffered stores trigger *low-priority*
+  compression assist warps.
+* **AWT.** Triggered instances occupy Assist Warp Table entries; when
+  the table is full, decompression triggers queue (they are required
+  for correctness) while compression triggers simply wait in the store
+  buffer.
+* **Deployment.** Every cycle the AWC stages up to ``deploy_width``
+  instructions from active assist warps into the AWB, round-robin, each
+  warp bounded by its instruction-buffer partition depth.
+* **Scheduling.** High-priority assist warps preempt their parent
+  scheduler's warps; low-priority warps (bounded by the two-entry AWB
+  low-priority partition) issue only into otherwise-idle slots, and the
+  utilization monitor throttles their creation entirely when the
+  pipelines are already busy.
+* **Store buffer.** Pending stores wait in a small buffer for their
+  compression assist warp; on overflow the oldest entry is released
+  uncompressed and its assist warp, if any, is killed (AWT/AWB flush).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.aws import AssistWarpStore
+from repro.core.base import AssistController
+from repro.core.params import CabaParams
+from repro.core.subroutines import SubroutineLibrary
+from repro.gpu.isa import AssistProgram
+from repro.gpu.warp import WarpContext
+from repro.memory.hierarchy import LineFill
+
+HIGH = 0
+LOW = 1
+
+
+class ActiveAssistWarp:
+    """One live AWT entry: a triggered assist-warp instance."""
+
+    __slots__ = (
+        "parent",
+        "program",
+        "pc",
+        "deployed",
+        "pending_mask",
+        "priority",
+        "task",
+        "line",
+        "cancelled",
+        "blocking",
+    )
+
+    def __init__(
+        self,
+        parent: WarpContext,
+        program: AssistProgram,
+        priority: int,
+        task: str,
+        line: int,
+    ) -> None:
+        self.parent = parent
+        self.program = program
+        self.pc = 0
+        self.deployed = 0
+        self.pending_mask = 0
+        self.priority = priority
+        self.task = task
+        self.line = line
+        self.cancelled = False
+        #: Whether this instance bumped its parent's ``assist_block``.
+        self.blocking = False
+
+
+@dataclass
+class _DecompressionEntry:
+    line: int
+    encoding: str
+    owner: WarpContext
+    callbacks: list[Callable[[], None]] = field(default_factory=list)
+    assist: ActiveAssistWarp | None = None
+    activated: bool = False
+
+
+@dataclass
+class _StoreEntry:
+    line: int
+    parent: WarpContext
+    full_line: bool
+    state: str = "waiting"  # waiting | compressing | released
+    assist: ActiveAssistWarp | None = None
+
+
+@dataclass
+class CabaStats:
+    """Per-SM framework counters."""
+
+    decompressions_triggered: int = 0
+    compressions_triggered: int = 0
+    assist_warps_completed: int = 0
+    assist_warps_cancelled: int = 0
+    stores_released_compressed: int = 0
+    stores_released_uncompressed: int = 0
+    store_buffer_overflows: int = 0
+    throttled_cycles: int = 0
+    awt_full_events: int = 0
+
+
+class CabaController(AssistController):
+    """Per-SM CABA machinery (AWC + AWT + AWB + store buffer)."""
+
+    def __init__(
+        self,
+        sm,
+        params: CabaParams,
+        library: SubroutineLibrary,
+        algorithm: str,
+        aws: AssistWarpStore | None = None,
+    ) -> None:
+        super().__init__(sm)
+        self.params = params
+        self.library = library
+        self.algorithm = algorithm
+        self.aws = aws if aws is not None else AssistWarpStore()
+        self.stats = CabaStats()
+
+        n_sched = sm.config.schedulers_per_sm
+        self._awt: list[ActiveAssistWarp] = []
+        self._high: list[deque[ActiveAssistWarp]] = [
+            deque() for _ in range(n_sched)
+        ]
+        self._low: list[ActiveAssistWarp] = []
+        self._deploy_rr = 0
+
+        self._decomp: dict[int, _DecompressionEntry] = {}
+        self._decomp_awt_queue: deque[_DecompressionEntry] = deque()
+        self._parent_decomp_queue: dict[int, deque[_DecompressionEntry]] = {}
+        self._busy_decomp_parents: set[int] = set()
+
+        self._store_buffer: deque[_StoreEntry] = deque()
+        self._busy_compress_parents: set[int] = set()
+
+        self._utilization = 0.0
+        self._now = 0
+
+        # Preload the compression subroutine into the AWS; decompression
+        # subroutines are registered lazily per encoding encountered.
+        self.aws.register("compress", algorithm, library.compression(algorithm))
+
+    # ------------------------------------------------------------------
+    # Per-cycle work (called from SM.tick)
+    # ------------------------------------------------------------------
+    def tick(self, cycle: int) -> None:
+        self._now = cycle
+        self._deploy(cycle)
+        self._spawn_compressions(cycle)
+
+    def observe(self, issued: int, slots: int) -> None:
+        """Feed the AWC's functional-unit utilization monitor."""
+        alpha = self.params.utilization_ema_alpha
+        self._utilization += alpha * (issued / slots - self._utilization)
+        if self.throttled:
+            self.stats.throttled_cycles += 1
+
+    @property
+    def throttled(self) -> bool:
+        return (
+            self.params.throttling_enabled
+            and self._utilization > self.params.throttle_threshold
+        )
+
+    def has_pending_work(self) -> bool:
+        """Whether the controller needs the SM ticked next cycle (used to
+        bound fast-forwarding)."""
+        if any(aw.deployed < len(aw.program.body) for aw in self._awt):
+            return True
+        return any(e.state == "waiting" for e in self._store_buffer)
+
+    # ------------------------------------------------------------------
+    # Deployment (AWC -> AWB staging)
+    # ------------------------------------------------------------------
+    def _deploy(self, cycle: int) -> None:
+        if not self._awt:
+            return
+        budget = self.params.deploy_width
+        n = len(self._awt)
+        for i in range(n):
+            if budget == 0:
+                break
+            aw = self._awt[(self._deploy_rr + i) % n]
+            if aw.cancelled:
+                continue
+            body_len = len(aw.program.body)
+            if aw.deployed >= body_len:
+                continue
+            if aw.deployed - aw.pc >= self.params.ib_stage_depth:
+                continue
+            aw.deployed += 1
+            budget -= 1
+        self._deploy_rr = (self._deploy_rr + 1) % max(1, n)
+
+    # ------------------------------------------------------------------
+    # Issue hooks (called from SM._issue_slot)
+    # ------------------------------------------------------------------
+    def issue_high(self, sched: int, cycle: int) -> bool:
+        dq = self._high[sched]
+        for _ in range(len(dq)):
+            aw = dq[0]
+            if aw.cancelled or aw.pc >= len(aw.program.body):
+                dq.popleft()
+                continue
+            if self.sm.try_issue_assist(aw, cycle):
+                if aw.pc >= len(aw.program.body):
+                    dq.popleft()
+                return True
+            dq.rotate(-1)
+        return False
+
+    def issue_low(self, sched: int, cycle: int) -> bool:
+        for aw in self._low:
+            if aw.cancelled or aw.pc >= len(aw.program.body):
+                continue
+            if self.sm.try_issue_assist(aw, cycle):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Decompression (high priority, triggered by compressed fills)
+    # ------------------------------------------------------------------
+    def pending_decompression(self, line: int) -> bool:
+        return line in self._decomp
+
+    def attach_to_decompression(self, line: int, callback: Callable[[], None]) -> None:
+        self._decomp[line].callbacks.append(callback)
+
+    def request_decompression(
+        self,
+        warp: WarpContext,
+        fill: LineFill,
+        callback: Callable[[], None],
+        cycle: int,
+    ) -> None:
+        """Register interest in the decompressed form of ``fill.line``.
+
+        The assist warp is triggered when the compressed line lands in
+        the L1 (the fill time); ``callback`` fires when the subroutine
+        completes and the data is usable.
+        """
+        entry = self._decomp.get(fill.line)
+        if entry is not None:
+            entry.callbacks.append(callback)
+            return
+        entry = _DecompressionEntry(
+            line=fill.line, encoding=fill.encoding, owner=warp
+        )
+        entry.callbacks.append(callback)
+        self._decomp[fill.line] = entry
+        self.sm.schedule(
+            math.ceil(fill.fill_time), lambda: self._activate_decompression(entry)
+        )
+
+    def _activate_decompression(self, entry: _DecompressionEntry) -> None:
+        entry.activated = True
+        owner_key = id(entry.owner)
+        if owner_key in self._busy_decomp_parents:
+            # Only one instance of each subroutine per parent warp
+            # (Section 3.2.2): queue behind the active one.
+            self._parent_decomp_queue.setdefault(owner_key, deque()).append(entry)
+            return
+        if len(self._awt) >= self.params.awt_capacity:
+            self.stats.awt_full_events += 1
+            self._decomp_awt_queue.append(entry)
+            return
+        self._spawn_decompression(entry)
+
+    def _spawn_decompression(self, entry: _DecompressionEntry) -> None:
+        program = self.library.decompression(self.algorithm, entry.encoding)
+        self.aws.register("decompress", entry.encoding, program)
+        priority = HIGH if self.params.decompression_high_priority else LOW
+        aw = ActiveAssistWarp(
+            parent=entry.owner,
+            program=program,
+            priority=priority,
+            task="decompress",
+            line=entry.line,
+        )
+        entry.assist = aw
+        self._awt.append(aw)
+        self._busy_decomp_parents.add(id(entry.owner))
+        if priority == HIGH:
+            # A blocking assist warp stalls its parent until it completes
+            # (Section 4.2.1).
+            if not entry.owner.finished:
+                entry.owner.assist_block += 1
+                aw.blocking = True
+            self._high[entry.owner.sched].append(aw)
+        else:
+            self._low.append(aw)
+        self.stats.decompressions_triggered += 1
+
+    def _pump_decompression_queues(self, owner: WarpContext) -> None:
+        """After a decompression finishes, start queued work."""
+        owner_key = id(owner)
+        queue = self._parent_decomp_queue.get(owner_key)
+        if queue:
+            entry = queue.popleft()
+            if not queue:
+                del self._parent_decomp_queue[owner_key]
+            if len(self._awt) < self.params.awt_capacity:
+                self._spawn_decompression(entry)
+            else:
+                self._decomp_awt_queue.append(entry)
+        while self._decomp_awt_queue and len(self._awt) < self.params.awt_capacity:
+            entry = self._decomp_awt_queue.popleft()
+            if id(entry.owner) in self._busy_decomp_parents:
+                self._parent_decomp_queue.setdefault(
+                    id(entry.owner), deque()
+                ).append(entry)
+                continue
+            self._spawn_decompression(entry)
+
+    # ------------------------------------------------------------------
+    # Compression (low priority, triggered by buffered stores)
+    # ------------------------------------------------------------------
+    def buffer_store(
+        self, warp: WarpContext, lines, full_line: bool, cycle: int
+    ) -> None:
+        """Stage store lines in the pending-store buffer (Section 4.2.2)."""
+        for line in lines:
+            if any(
+                e.line == line and e.state != "released"
+                for e in self._store_buffer
+            ):
+                continue  # merged with a pending store to the same line
+            while len(self._store_buffer) >= self.params.store_buffer_lines:
+                self._overflow_release(cycle)
+            self._store_buffer.append(
+                _StoreEntry(line=line, parent=warp, full_line=full_line)
+            )
+
+    def _overflow_release(self, cycle: int) -> None:
+        """Buffer full: release the oldest entry uncompressed."""
+        entry = self._store_buffer.popleft()
+        self.stats.store_buffer_overflows += 1
+        if entry.state == "compressing" and entry.assist is not None:
+            self._cancel(entry.assist)
+        if entry.state != "released":
+            self._release_store(entry, compressed=False, cycle=cycle)
+
+    def _spawn_compressions(self, cycle: int) -> None:
+        if self.throttled:
+            return
+        active_low = sum(
+            1
+            for aw in self._low
+            if not aw.cancelled and aw.pc < len(aw.program.body)
+        )
+        for entry in self._store_buffer:
+            if active_low >= self.params.low_priority_slots:
+                break
+            if len(self._awt) >= self.params.awt_capacity:
+                break
+            if entry.state != "waiting":
+                continue
+            if id(entry.parent) in self._busy_compress_parents:
+                continue
+            self._spawn_compression(entry)
+            active_low += 1
+
+    def _spawn_compression(self, entry: _StoreEntry) -> None:
+        program = self.library.compression(self.algorithm)
+        aw = ActiveAssistWarp(
+            parent=entry.parent,
+            program=program,
+            priority=LOW,
+            task="compress",
+            line=entry.line,
+        )
+        entry.state = "compressing"
+        entry.assist = aw
+        self._awt.append(aw)
+        self._low.append(aw)
+        self._busy_compress_parents.add(id(entry.parent))
+        self.stats.compressions_triggered += 1
+
+    def _release_store(self, entry: _StoreEntry, compressed: bool, cycle: int) -> None:
+        entry.state = "released"
+        self.sm.memory.store(
+            self.sm.sm_id,
+            entry.line,
+            cycle,
+            full_line=entry.full_line,
+            compressed_by_core=compressed,
+        )
+        if compressed:
+            self.stats.stores_released_compressed += 1
+        else:
+            self.stats.stores_released_uncompressed += 1
+
+    # ------------------------------------------------------------------
+    # Completion / cancellation
+    # ------------------------------------------------------------------
+    def finish(self, aw: ActiveAssistWarp) -> None:
+        """Last instruction of ``aw`` wrote back: retire the assist warp."""
+        if aw.cancelled:
+            return
+        self._remove_from_awt(aw)
+        self.stats.assist_warps_completed += 1
+        self.sm.stats.assist_warps_completed += 1
+        now = self._now + 1
+        if aw.task == "decompress":
+            entry = self._decomp.pop(aw.line, None)
+            self._unblock(aw)
+            self._busy_decomp_parents.discard(id(aw.parent))
+            if entry is not None:
+                for callback in entry.callbacks:
+                    callback()
+            self._pump_decompression_queues(aw.parent)
+        elif aw.task == "compress":
+            self._busy_compress_parents.discard(id(aw.parent))
+            for entry in list(self._store_buffer):
+                if entry.assist is aw:
+                    self._store_buffer.remove(entry)
+                    self._release_store(entry, compressed=True, cycle=now)
+                    break
+        else:
+            # Custom tasks (memoization, prefetch) handle their own
+            # completion through callbacks attached at spawn time.
+            self._unblock(aw)
+
+    def _unblock(self, aw: ActiveAssistWarp) -> None:
+        if aw.blocking:
+            aw.parent.assist_block -= 1
+            aw.blocking = False
+
+    def _cancel(self, aw: ActiveAssistWarp) -> None:
+        """Kill an assist warp: flush its AWT and AWB state (Section 3.4)."""
+        aw.cancelled = True
+        self._unblock(aw)
+        self._remove_from_awt(aw)
+        if aw in self._low:
+            self._low.remove(aw)
+        self._busy_compress_parents.discard(id(aw.parent))
+        self.stats.assist_warps_cancelled += 1
+        self.sm.stats.assist_warps_cancelled += 1
+
+    def _remove_from_awt(self, aw: ActiveAssistWarp) -> None:
+        if aw in self._awt:
+            self._awt.remove(aw)
+        if aw in self._low:
+            self._low.remove(aw)
+
+    # ------------------------------------------------------------------
+    # End of kernel
+    # ------------------------------------------------------------------
+    def flush(self, cycle: int) -> None:
+        """Drain the store buffer at kernel end.
+
+        Entries whose compression assist warp is still running count as
+        compressed (it completes while the writeback is in flight);
+        entries never picked up are released uncompressed.
+        """
+        while self._store_buffer:
+            entry = self._store_buffer.popleft()
+            if entry.state == "released":
+                continue
+            self._release_store(
+                entry, compressed=entry.state == "compressing", cycle=cycle
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def awt_occupancy(self) -> int:
+        return len(self._awt)
+
+    @property
+    def store_buffer_occupancy(self) -> int:
+        return len(self._store_buffer)

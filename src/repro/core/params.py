@@ -1,0 +1,51 @@
+"""Tunable parameters of the CABA framework (Sections 3.3-3.4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CabaParams:
+    """Knobs of the assist-warp machinery.
+
+    Defaults follow the paper's design description; the ablation
+    benchmarks sweep several of them.
+    """
+
+    #: Assist Warp Table capacity (outstanding assist-warp instances).
+    awt_capacity: int = 48
+    #: Instructions the AWC decodes/stages per cycle (fetch/decode width).
+    deploy_width: int = 2
+    #: Per-assist-warp staging depth in the instruction buffer partition.
+    ib_stage_depth: int = 2
+    #: Entries of the dedicated low-priority AWB partition — how many
+    #: low-priority assist warps can be in flight at once (Section 3.3).
+    low_priority_slots: int = 2
+    #: Lines the pending-store buffer holds (dedicated L1 sets / shared
+    #: memory, Section 4.2.2); overflow releases stores uncompressed.
+    store_buffer_lines: int = 16
+    #: Issue-slot utilization (EMA) above which the AWC throttles
+    #: low-priority assist-warp deployment (Section 3.4).
+    throttle_threshold: float = 0.75
+    #: EMA smoothing factor for the utilization monitor.
+    utilization_ema_alpha: float = 0.05
+    #: Disable dynamic throttling entirely (ablation knob).
+    throttling_enabled: bool = True
+    #: Run decompression at low priority instead of high (ablation knob;
+    #: the paper argues decompression must be high priority).
+    decompression_high_priority: bool = True
+
+    def __post_init__(self) -> None:
+        if self.awt_capacity < 1:
+            raise ValueError("awt_capacity must be >= 1")
+        if self.deploy_width < 1:
+            raise ValueError("deploy_width must be >= 1")
+        if self.low_priority_slots < 1:
+            raise ValueError("low_priority_slots must be >= 1")
+        if self.store_buffer_lines < 1:
+            raise ValueError("store_buffer_lines must be >= 1")
+        if not 0.0 < self.throttle_threshold <= 1.0:
+            raise ValueError("throttle_threshold must be in (0, 1]")
+        if not 0.0 < self.utilization_ema_alpha <= 1.0:
+            raise ValueError("utilization_ema_alpha must be in (0, 1]")

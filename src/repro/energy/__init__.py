@@ -1,0 +1,5 @@
+"""Activity-based energy model (GPUWattch/CACTI substitute)."""
+
+from repro.energy.model import EnergyBreakdown, EnergyModel, EnergyParams
+
+__all__ = ["EnergyBreakdown", "EnergyModel", "EnergyParams"]

@@ -1,0 +1,53 @@
+"""GPU core substrate: SIMT ISA, warps, schedulers, SMs, simulator."""
+
+from repro.gpu.config import DramTiming, GPUConfig
+from repro.gpu.isa import (
+    ASSIST_REG_BASE,
+    AssistProgram,
+    Instr,
+    MemSpace,
+    OpKind,
+    Program,
+    alu,
+    load,
+    reg_mask,
+    sfu,
+    store,
+    sync,
+)
+from repro.gpu.kernel import Kernel
+from repro.gpu.occupancy import Occupancy, OccupancyError, compute_occupancy
+from repro.gpu.simulator import SimulationResult, Simulator
+from repro.gpu.sm import SM
+from repro.gpu.stats import SLOT_LABELS, SimStats, Slot, SmStats
+from repro.gpu.warp import BlockContext, WarpContext
+
+__all__ = [
+    "ASSIST_REG_BASE",
+    "AssistProgram",
+    "BlockContext",
+    "DramTiming",
+    "GPUConfig",
+    "Instr",
+    "Kernel",
+    "MemSpace",
+    "Occupancy",
+    "OccupancyError",
+    "OpKind",
+    "Program",
+    "SLOT_LABELS",
+    "SM",
+    "SimStats",
+    "SimulationResult",
+    "Simulator",
+    "Slot",
+    "SmStats",
+    "WarpContext",
+    "alu",
+    "compute_occupancy",
+    "load",
+    "reg_mask",
+    "sfu",
+    "store",
+    "sync",
+]

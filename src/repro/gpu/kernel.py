@@ -1,0 +1,53 @@
+"""Kernel launch descriptions.
+
+A :class:`Kernel` is what the simulator dispatches: a grid of thread
+blocks, each block a group of warps executing the same
+:class:`~repro.gpu.isa.Program`, plus the static resource demands
+(registers per thread, shared memory per block) that determine SM
+occupancy — the quantities behind Figure 2's unallocated-register study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.isa import Program
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """One kernel launch."""
+
+    name: str
+    program: Program
+    n_blocks: int
+    warps_per_block: int
+    regs_per_thread: int
+    smem_per_block: int = 0
+    warp_size: int = 32
+
+    def __post_init__(self) -> None:
+        if self.n_blocks < 1:
+            raise ValueError(f"{self.name}: need at least one block")
+        if self.warps_per_block < 1:
+            raise ValueError(f"{self.name}: need at least one warp per block")
+        if self.regs_per_thread < 1:
+            raise ValueError(f"{self.name}: threads need registers")
+        if self.smem_per_block < 0:
+            raise ValueError(f"{self.name}: negative shared memory")
+
+    @property
+    def threads_per_block(self) -> int:
+        return self.warps_per_block * self.warp_size
+
+    @property
+    def total_warps(self) -> int:
+        return self.n_blocks * self.warps_per_block
+
+    @property
+    def regs_per_block(self) -> int:
+        return self.regs_per_thread * self.threads_per_block
+
+    def warp_linear_index(self, block_id: int, warp_in_block: int) -> int:
+        """Globally unique warp index used by address generators."""
+        return block_id * self.warps_per_block + warp_in_block

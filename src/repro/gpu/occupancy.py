@@ -1,0 +1,76 @@
+"""Static SM occupancy and register-allocation accounting.
+
+Reproduces the analysis behind Figure 2: how many thread blocks fit on
+one SM given the hard thread/block limits and the register/shared-memory
+partitioning, and what fraction of the register file is left statically
+unallocated — the headroom CABA's assist warps live in (Section 3.2.2:
+the assist-warp register demand is added to the per-block requirement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.config import GPUConfig
+from repro.gpu.kernel import Kernel
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Result of the static occupancy calculation for one kernel."""
+
+    blocks_per_sm: int
+    warps_per_sm: int
+    limiting_factor: str
+    allocated_registers: int
+    total_registers: int
+
+    @property
+    def unallocated_register_fraction(self) -> float:
+        """Figure 2's metric: statically unallocated register-file share."""
+        if self.total_registers == 0:
+            return 0.0
+        return 1.0 - self.allocated_registers / self.total_registers
+
+
+class OccupancyError(ValueError):
+    """The kernel cannot be scheduled on this machine at all."""
+
+
+def compute_occupancy(
+    config: GPUConfig,
+    kernel: Kernel,
+    assist_regs_per_thread: int = 0,
+) -> Occupancy:
+    """How many blocks of ``kernel`` fit per SM.
+
+    ``assist_regs_per_thread`` is the extra per-thread register demand of
+    enabled assist-warp subroutines; raising it can reduce occupancy —
+    the register-pressure overhead of CABA emerges from here.
+    """
+    regs_per_thread = kernel.regs_per_thread + assist_regs_per_thread
+    regs_per_block = regs_per_thread * kernel.threads_per_block
+
+    limits: dict[str, int] = {
+        "threads": config.max_threads_per_sm // kernel.threads_per_block,
+        "blocks": config.max_blocks_per_sm,
+        "warp_slots": config.warps_per_sm // kernel.warps_per_block,
+        "registers": config.registers_per_sm // regs_per_block,
+    }
+    if kernel.smem_per_block > 0:
+        limits["shared_memory"] = config.smem_per_sm // kernel.smem_per_block
+
+    limiting_factor = min(limits, key=lambda k: limits[k])
+    blocks = limits[limiting_factor]
+    if blocks < 1:
+        raise OccupancyError(
+            f"kernel {kernel.name!r} does not fit on one SM "
+            f"(limited by {limiting_factor})"
+        )
+    return Occupancy(
+        blocks_per_sm=blocks,
+        warps_per_sm=blocks * kernel.warps_per_block,
+        limiting_factor=limiting_factor,
+        allocated_registers=blocks * regs_per_block,
+        total_registers=config.registers_per_sm,
+    )

@@ -1,0 +1,202 @@
+"""Top-level GPU simulator: SMs + memory system + block dispatcher.
+
+The main loop is cycle-driven with event-based fast-forwarding: when no
+SM can issue and no assist-warp work is pending, the clock jumps to the
+next scheduled event (a writeback, a cache fill, a DRAM completion),
+with the skipped issue slots accounted under their last stall
+classification — memory-bound applications spend most of their wall
+clock inside these jumps, which is what makes a Python cycle-level
+model practical.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.design import DesignPoint
+from repro.gpu.config import GPUConfig
+from repro.gpu.kernel import Kernel
+from repro.gpu.occupancy import Occupancy, compute_occupancy
+from repro.gpu.sm import SM
+from repro.gpu.stats import SimStats
+from repro.gpu.warp import BlockContext, WarpContext
+from repro.memory.hierarchy import MemorySystem
+from repro.memory.image import MemoryImage
+
+
+@dataclass
+class SimulationResult:
+    """Everything a harness needs from one simulation."""
+
+    kernel: str
+    design: str
+    stats: SimStats
+    memory: MemorySystem
+    occupancy: Occupancy
+    truncated: bool
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.cycles
+
+    @property
+    def ipc(self) -> float:
+        return self.stats.ipc
+
+    def bandwidth_utilization(self) -> float:
+        return self.memory.bandwidth_utilization(float(self.stats.cycles))
+
+
+class Simulator:
+    """Drives one kernel to completion on the configured machine."""
+
+    def __init__(
+        self,
+        config: GPUConfig,
+        kernel: Kernel,
+        design: DesignPoint,
+        image: MemoryImage,
+        caba_factory: Callable[[SM], object] | None = None,
+        assist_regs_per_thread: int = 0,
+    ) -> None:
+        """
+        Args:
+            config: Machine description.
+            kernel: The kernel launch to run.
+            design: Compression design point.
+            image: Compressed view of global memory for this workload.
+            caba_factory: Builds a CABA controller for an SM; required
+                when the design uses assist warps.
+            assist_regs_per_thread: Extra per-thread register demand of
+                the enabled assist subroutines (affects occupancy).
+        """
+        if design.uses_assist_warps and caba_factory is None:
+            raise ValueError(f"design {design.name} needs a CABA controller")
+        self.config = config
+        self.kernel = kernel
+        self.design = design
+        self.memory = MemorySystem(config, design, image)
+        self.occupancy = compute_occupancy(
+            config, kernel, assist_regs_per_thread=assist_regs_per_thread
+        )
+
+        self._events: list[tuple[int, int, Callable[[], None]]] = []
+        self._event_seq = 0
+        self._cycle = 0
+
+        self.sms = [
+            SM(
+                sm_id=i,
+                config=config,
+                memory=self.memory,
+                schedule=self.schedule,
+                on_block_retired=self._on_block_retired,
+            )
+            for i in range(config.n_sms)
+        ]
+        if caba_factory is not None:
+            for sm in self.sms:
+                sm.caba = caba_factory(sm)
+
+        self._pending_blocks: deque[int] = deque(range(kernel.n_blocks))
+        self._blocks_retired = 0
+        self._fill_initial_blocks()
+
+    # ------------------------------------------------------------------
+    # Events
+    # ------------------------------------------------------------------
+    def schedule(self, cycle: float, fn: Callable[[], None]) -> None:
+        """Run ``fn`` at the start of ``cycle`` (never before next cycle)."""
+        when = max(self._cycle + 1, math.ceil(cycle))
+        self._event_seq += 1
+        heapq.heappush(self._events, (when, self._event_seq, fn))
+
+    # ------------------------------------------------------------------
+    # Block dispatch
+    # ------------------------------------------------------------------
+    def _fill_initial_blocks(self) -> None:
+        for sm in self.sms:
+            while (
+                len(sm.resident_blocks) < self.occupancy.blocks_per_sm
+                and self._pending_blocks
+            ):
+                self._dispatch_block(sm)
+
+    def _dispatch_block(self, sm: SM) -> None:
+        block_id = self._pending_blocks.popleft()
+        block = BlockContext(block_id)
+        for w in range(self.kernel.warps_per_block):
+            index = self.kernel.warp_linear_index(block_id, w)
+            block.warps.append(WarpContext(index, block, self.kernel.program, 0))
+        sm.add_block(block)
+
+    def _on_block_retired(self, sm: SM) -> None:
+        self._blocks_retired += 1
+        if self._pending_blocks:
+            self._dispatch_block(sm)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return self._blocks_retired >= self.kernel.n_blocks
+
+    def run(self) -> SimulationResult:
+        events = self._events
+        sms = self.sms
+        truncated = False
+        while not self.done:
+            if self._cycle >= self.config.max_cycles:
+                truncated = True
+                break
+            # Deliver events due this cycle.
+            while events and events[0][0] <= self._cycle:
+                _, _, fn = heapq.heappop(events)
+                fn()
+            issued = 0
+            for sm in sms:
+                issued += sm.tick(self._cycle)
+            self._cycle += 1
+            if issued == 0:
+                self._fast_forward()
+        if self.done:
+            self._drain()
+        stats = SimStats(cycles=self._cycle, sms=[sm.stats for sm in sms])
+        return SimulationResult(
+            kernel=self.kernel.name,
+            design=self.design.name,
+            stats=stats,
+            memory=self.memory,
+            occupancy=self.occupancy,
+            truncated=truncated,
+        )
+
+    def _fast_forward(self) -> None:
+        """Jump to the next time anything can happen."""
+        wake = float("inf")
+        if self._events:
+            wake = float(self._events[0][0])
+        for sm in self.sms:
+            hint = sm.next_wake(self._cycle - 1)
+            if hint < wake:
+                wake = hint
+        if wake == float("inf") or wake <= self._cycle:
+            return
+        target = min(int(wake), self.config.max_cycles)
+        skipped = target - self._cycle
+        if skipped <= 0:
+            return
+        for sm in self.sms:
+            sm.replay_stall(skipped)
+        self._cycle = target
+
+    def _drain(self) -> None:
+        """Flush CABA store buffers so end-of-kernel traffic is counted."""
+        for sm in self.sms:
+            if sm.caba is not None:
+                sm.caba.flush(self._cycle)

@@ -1,0 +1,432 @@
+"""The streaming-multiprocessor pipeline model.
+
+Each SM runs two warp schedulers (GTO by default, Table 1). Every cycle
+each scheduler gets one issue slot, which is classified per Figure 1:
+an instruction issues (Active), a ready warp is blocked by a backed-up
+ALU/SFU pipe (Compute Stall) or by the LSU/MSHRs (Memory Stall), all
+considered warps wait on the scoreboard (Data Dependence Stall), or
+nothing is available (Idle).
+
+CABA hooks in at three points (Section 3.4): high-priority assist warps
+preempt the parent warps of their scheduler, low-priority assist warps
+consume otherwise-idle issue slots, and assist instructions contend for
+the very same ALU/SFU/LSU resources as regular instructions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.gpu.config import GPUConfig
+from repro.gpu.isa import Instr, MemSpace, OpKind
+from repro.gpu.stats import Slot, SmStats
+from repro.gpu.warp import BlockContext, WarpContext
+from repro.memory.hierarchy import MemorySystem
+
+#: ALU latency at or above which the op uses the narrow "heavy" pipe.
+HEAVY_ALU_LATENCY = 8
+#: Initiation interval of the heavy-ALU pipe (one op per this many cycles).
+HEAVY_ALU_II = 2
+
+# Issue attempt outcomes (internal).
+_OK = 0
+_DEP = 1
+_STRUCT_ALU = 2
+_STRUCT_MEM = 3
+_SKIP = 4
+
+_INF = float("inf")
+
+
+class SM:
+    """One streaming multiprocessor."""
+
+    def __init__(
+        self,
+        sm_id: int,
+        config: GPUConfig,
+        memory: MemorySystem,
+        schedule: Callable[[int, Callable[[], None]], None],
+        on_block_retired: Callable[["SM"], None],
+    ) -> None:
+        self.sm_id = sm_id
+        self.config = config
+        self.memory = memory
+        self.schedule = schedule
+        self.on_block_retired = on_block_retired
+        self.stats = SmStats()
+        #: CABA controller; installed by the simulator for CABA designs.
+        self.caba = None
+
+        n = config.schedulers_per_sm
+        self.sched_warps: list[list[WarpContext]] = [[] for _ in range(n)]
+        self._current: list[WarpContext | None] = [None] * n
+        self._last_slots: list[Slot] = [Slot.IDLE] * n
+        if config.scheduler not in ("gto", "lrr"):
+            raise ValueError(f"unknown scheduler {config.scheduler!r}")
+        self._greedy = config.scheduler == "gto"
+        self._rr: list[int] = [0] * n
+
+        # Execution-unit reservation state (cycle when next op may start).
+        self._sfu_free = 0
+        self._heavy_alu_free = 0
+        self._lsu_free = 0
+
+        self.resident_blocks: list[BlockContext] = []
+        self._wake_hint: float = _INF
+        self._age_counter = 0
+        #: Current cycle (updated at every tick; used by controllers
+        #: whose callbacks fire from the event queue).
+        self.now = 0
+
+    # ------------------------------------------------------------------
+    # Block / warp management
+    # ------------------------------------------------------------------
+    def add_block(self, block: BlockContext) -> None:
+        """Make a dispatched block's warps resident and schedulable."""
+        self.resident_blocks.append(block)
+        n = self.config.schedulers_per_sm
+        for warp in block.warps:
+            warp.sched = self._age_counter % n
+            warp.age = self._age_counter
+            self._age_counter += 1
+            self.sched_warps[warp.sched].append(warp)
+
+    def _retire_block(self, block: BlockContext) -> None:
+        if block.retired:
+            return
+        block.retired = True
+        self.stats.blocks_finished += 1
+        self.resident_blocks.remove(block)
+        retired = set(block.warps)
+        for s, warps in enumerate(self.sched_warps):
+            self.sched_warps[s] = [w for w in warps if w not in retired]
+            if self._current[s] in retired:
+                self._current[s] = None
+        self.on_block_retired(self)
+
+    def _check_block_drain(self, warp: WarpContext) -> None:
+        block = warp.block
+        if block.all_finished and not block.retired and block.drained:
+            self._retire_block(block)
+
+    @property
+    def resident_warps(self) -> int:
+        return sum(len(w) for w in self.sched_warps)
+
+    # ------------------------------------------------------------------
+    # Main per-cycle step
+    # ------------------------------------------------------------------
+    def tick(self, cycle: int) -> int:
+        """Run one cycle; returns the number of instructions issued."""
+        self.now = cycle
+        self._wake_hint = _INF
+        if self.caba is not None:
+            self.caba.tick(cycle)
+        issued = 0
+        for s in range(self.config.schedulers_per_sm):
+            slot = self._issue_slot(s, cycle)
+            self.stats.slots[slot] += 1
+            self._last_slots[s] = slot
+            if slot is Slot.ACTIVE:
+                issued += 1
+        if self.caba is not None:
+            self.caba.observe(issued, self.config.schedulers_per_sm)
+        return issued
+
+    def replay_stall(self, skipped: int) -> None:
+        """Account ``skipped`` fast-forwarded cycles with the last
+        classification (no state changed during the gap)."""
+        for s, slot in enumerate(self._last_slots):
+            self.stats.slots[slot] += skipped
+
+    def next_wake(self, cycle: int) -> float:
+        """Earliest cycle at which this SM might make progress without an
+        external event (used for fast-forwarding)."""
+        if self.caba is not None and self.caba.has_pending_work():
+            return cycle + 1
+        return self._wake_hint
+
+    # ------------------------------------------------------------------
+    # Issue-slot logic
+    # ------------------------------------------------------------------
+    def _issue_slot(self, s: int, cycle: int) -> Slot:
+        if self.caba is not None and self.caba.issue_high(s, cycle):
+            return Slot.ACTIVE
+
+        saw_mem = saw_alu = saw_dep = False
+        current = self._current[s] if self._greedy else None
+        if current is not None and current.can_consider():
+            # GTO: stay greedy on the current warp until it stalls.
+            status = self._try_issue(current, cycle)
+            if status == _OK:
+                return Slot.ACTIVE
+            saw_dep |= status == _DEP
+            saw_alu |= status == _STRUCT_ALU
+            saw_mem |= status == _STRUCT_MEM
+        warps = self.sched_warps[s]
+        n = len(warps)
+        start = 0 if self._greedy else self._rr[s] % max(1, n)
+        for k in range(n):
+            warp = warps[(start + k) % n]
+            if warp is current or not warp.can_consider():
+                continue
+            status = self._try_issue(warp, cycle)
+            if status == _OK:
+                self._current[s] = warp
+                if not self._greedy:
+                    # LRR: next cycle starts after the warp that issued.
+                    self._rr[s] = (start + k + 1) % max(1, n)
+                return Slot.ACTIVE
+            saw_dep |= status == _DEP
+            saw_alu |= status == _STRUCT_ALU
+            saw_mem |= status == _STRUCT_MEM
+
+        if self.caba is not None and self.caba.issue_low(s, cycle):
+            return Slot.ACTIVE
+        if saw_mem:
+            return Slot.MEMORY_STALL
+        if saw_alu:
+            return Slot.COMPUTE_STALL
+        if saw_dep:
+            return Slot.DATA_STALL
+        return Slot.IDLE
+
+    # ------------------------------------------------------------------
+    # Parent-warp instruction issue
+    # ------------------------------------------------------------------
+    def _try_issue(self, warp: WarpContext, cycle: int) -> int:
+        instr = warp.program.body[warp.pc]
+        if warp.pending_mask & (instr.src_mask | instr.dst_mask):
+            return _DEP
+
+        kind = instr.kind
+        if kind is OpKind.ALU or kind is OpKind.NOP:
+            status = self._issue_alu(warp, instr, cycle)
+        elif kind is OpKind.SFU:
+            status = self._issue_sfu(warp, instr, cycle)
+        elif kind is OpKind.LOAD or kind is OpKind.STORE:
+            status = self._issue_memory(warp, instr, cycle)
+        elif kind is OpKind.SYNC:
+            status = self._issue_sync(warp, cycle)
+        elif kind is OpKind.MEMO:
+            status = _OK  # the marker itself is a plain issue slot
+        else:  # pragma: no cover - enum is closed
+            raise AssertionError(f"unhandled op kind {kind}")
+
+        if status == _OK:
+            self.stats.parent_instructions += 1
+            self._count_regs(instr)
+            finished = warp.advance()
+            if finished:
+                self._on_warp_finished(warp)
+            elif kind is OpKind.MEMO and self.caba is not None:
+                self.caba.on_memo_point(warp, instr.meta, cycle)
+        return status
+
+    def _count_regs(self, instr: Instr) -> None:
+        self.stats.register_reads += bin(instr.src_mask).count("1")
+        self.stats.register_writes += bin(instr.dst_mask).count("1")
+
+    # --- ALU / SFU ---------------------------------------------------
+    def _issue_alu(self, ctx, instr: Instr, cycle: int) -> int:
+        if instr.latency >= HEAVY_ALU_LATENCY:
+            if self._heavy_alu_free > cycle:
+                self._wake_hint = min(self._wake_hint, self._heavy_alu_free)
+                return _STRUCT_ALU
+            self._heavy_alu_free = cycle + HEAVY_ALU_II
+        self.stats.alu_ops += 1
+        self._hold_registers(ctx, instr.dst_mask, cycle + instr.latency)
+        return _OK
+
+    def _issue_sfu(self, ctx, instr: Instr, cycle: int) -> int:
+        if self._sfu_free > cycle:
+            self._wake_hint = min(self._wake_hint, self._sfu_free)
+            return _STRUCT_ALU
+        self._sfu_free = cycle + self.config.sfu_initiation_interval
+        self.stats.sfu_ops += 1
+        self._hold_registers(ctx, instr.dst_mask, cycle + instr.latency)
+        return _OK
+
+    def _hold_registers(self, ctx, dst_mask: int, until: int) -> None:
+        """Mark ``dst_mask`` pending on ``ctx`` (warp or assist warp) and
+        release it at ``until``."""
+        if not dst_mask:
+            return
+        ctx.pending_mask |= dst_mask
+        def release() -> None:
+            ctx.pending_mask &= ~dst_mask
+        self.schedule(until, release)
+
+    # --- Memory --------------------------------------------------------
+    def _issue_memory(self, warp: WarpContext, instr: Instr, cycle: int) -> int:
+        if instr.space is not MemSpace.GLOBAL:
+            return self._issue_onchip_memory(warp, instr, cycle)
+        if instr.kind is OpKind.LOAD:
+            return self._issue_global_load(warp, instr, cycle)
+        return self._issue_global_store(warp, instr, cycle)
+
+    def _issue_onchip_memory(self, ctx, instr: Instr, cycle: int) -> int:
+        """Shared-memory (and assist-warp L1-local) accesses: fixed latency."""
+        if self._lsu_free > cycle:
+            self._wake_hint = min(self._wake_hint, self._lsu_free)
+            return _STRUCT_MEM
+        self._lsu_free = cycle + 1
+        self.stats.shared_accesses += 1
+        latency = (
+            self.config.shared_mem_latency
+            if instr.space is MemSpace.SHARED
+            else self.config.assist_l1_latency
+        )
+        self._hold_registers(ctx, instr.dst_mask, cycle + latency)
+        return _OK
+
+    def _issue_global_load(self, warp: WarpContext, instr: Instr, cycle: int) -> int:
+        if self._lsu_free > cycle:
+            self._wake_hint = min(self._wake_hint, self._lsu_free)
+            return _STRUCT_MEM
+        lines = self._coalesce(instr, warp)
+        if not all(self.memory.mshr_available(self.sm_id, line) for line in lines):
+            # MSHRs free up via fill events, which also end fast-forwards.
+            return _STRUCT_MEM
+        fills = []
+        for line in lines:
+            fill = self.memory.load(self.sm_id, line, cycle)
+            if fill is None:
+                # MSHRs full: replay later; lines already sent keep their
+                # MSHR-release events and will merge on the retry.
+                return _STRUCT_MEM
+            if not fill.merged and not fill.from_l1:
+                self.schedule(
+                    math.ceil(fill.fill_time),
+                    lambda line=fill.line: self.memory.complete_fill(
+                        self.sm_id, line
+                    ),
+                )
+            fills.append(fill)
+        self._lsu_free = cycle + len(lines)
+        self.stats.loads += 1
+        if self.caba is not None:
+            self.caba.on_global_load(warp, lines, cycle)
+        warp.pending_mask |= instr.dst_mask
+        warp.outstanding_mem += 1
+
+        remaining = len(fills)
+        def line_done() -> None:
+            nonlocal remaining
+            remaining -= 1
+            if remaining == 0:
+                warp.pending_mask &= ~instr.dst_mask
+                warp.outstanding_mem -= 1
+                self._check_block_drain(warp)
+
+        for fill in fills:
+            if fill.needs_assist:
+                self.caba.request_decompression(warp, fill, line_done, cycle)
+            elif (
+                self.caba is not None
+                and fill.from_l1
+                and self.caba.pending_decompression(fill.line)
+            ):
+                # The line is mid-decompression from an earlier fill.
+                self.caba.attach_to_decompression(fill.line, line_done)
+            else:
+                self.schedule(math.ceil(fill.ready_time), line_done)
+        return _OK
+
+    def _issue_global_store(self, warp: WarpContext, instr: Instr, cycle: int) -> int:
+        if self._lsu_free > cycle:
+            self._wake_hint = min(self._wake_hint, self._lsu_free)
+            return _STRUCT_MEM
+        lines = self._coalesce(instr, warp)
+        self._lsu_free = cycle + len(lines)
+        self.stats.stores += 1
+        # A fully coalesced warp store covers whole lines; scattered
+        # multi-line stores are partial-line writes (Section 4.2.2).
+        full_line = len(lines) == 1
+        design = self.memory.design
+        if (
+            self.caba is not None
+            and design.compress_at == "core_assist"
+            and self.memory.image.compression_enabled
+        ):
+            self.caba.buffer_store(warp, lines, full_line, cycle)
+        else:
+            compressed = design.compress_at == "core_hw" or design.ideal
+            for line in lines:
+                self.memory.store(
+                    self.sm_id, line, cycle,
+                    full_line=full_line, compressed_by_core=compressed,
+                )
+        return _OK
+
+    def _coalesce(self, instr: Instr, warp: WarpContext) -> list[int]:
+        """Run the coalescer: unique line addresses, order preserved.
+
+        Memoized per (pc, iteration) so replayed instructions (MSHR or
+        LSU structural stalls) do not regenerate their addresses.
+        """
+        key = (warp.pc, warp.iteration)
+        if warp.coal_key == key:
+            return warp.coal_lines
+        raw = instr.addr_fn(warp.global_index, warp.iteration)
+        if len(raw) == 1:
+            lines = list(raw)
+        else:
+            seen: dict[int, None] = {}
+            for line in raw:
+                seen.setdefault(line, None)
+            lines = list(seen)
+        warp.coal_key = key
+        warp.coal_lines = lines
+        return lines
+
+    # --- Barrier ---------------------------------------------------------
+    def _issue_sync(self, warp: WarpContext, cycle: int) -> int:
+        warp.block.arrive_at_barrier(warp)
+        return _OK
+
+    # ------------------------------------------------------------------
+    # Warp completion
+    # ------------------------------------------------------------------
+    def _on_warp_finished(self, warp: WarpContext) -> None:
+        self.stats.warps_finished += 1
+        warp.at_barrier = False
+        block = warp.block
+        if block.note_warp_finished():
+            block.all_finished = True
+            if block.drained:
+                self._retire_block(block)
+
+    # ------------------------------------------------------------------
+    # Assist-warp instruction issue (called by the CABA controller)
+    # ------------------------------------------------------------------
+    def try_issue_assist(self, assist, cycle: int) -> bool:
+        """Attempt to issue the next deployed instruction of an assist
+        warp through the regular pipelines; returns True on issue."""
+        if assist.pc >= assist.deployed or assist.pc >= len(assist.program.body):
+            return False
+        instr = assist.program.body[assist.pc]
+        if assist.pending_mask & (instr.src_mask | instr.dst_mask):
+            return False
+
+        kind = instr.kind
+        if kind is OpKind.ALU or kind is OpKind.NOP:
+            status = self._issue_alu(assist, instr, cycle)
+        elif kind is OpKind.SFU:
+            status = self._issue_sfu(assist, instr, cycle)
+        elif kind in (OpKind.LOAD, OpKind.STORE):
+            status = self._issue_onchip_memory(assist, instr, cycle)
+        else:  # pragma: no cover - subroutines never contain SYNC
+            raise AssertionError(f"assist warps cannot execute {kind}")
+        if status != _OK:
+            return False
+
+        self.stats.assist_instructions += 1
+        self._count_regs(instr)
+        assist.pc += 1
+        if assist.pc >= len(assist.program.body):
+            done_at = cycle + max(1, instr.latency)
+            self.schedule(done_at, lambda: self.caba.finish(assist))
+        return True

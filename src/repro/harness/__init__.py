@@ -1,0 +1,26 @@
+"""Experiment harnesses: one function per paper table/figure."""
+
+from repro.harness import figures
+from repro.harness.figures import FigureResult
+from repro.harness.report import print_figure, render_table
+from repro.harness.runner import (
+    RunResult,
+    build_image,
+    clear_caches,
+    geomean,
+    run_app,
+    speedup,
+)
+
+__all__ = [
+    "FigureResult",
+    "RunResult",
+    "build_image",
+    "clear_caches",
+    "figures",
+    "geomean",
+    "print_figure",
+    "render_table",
+    "run_app",
+    "speedup",
+]

@@ -1,0 +1,85 @@
+"""Plain-text rendering of reproduced figures and tables.
+
+The benchmark drivers print each :class:`FigureResult` through these
+helpers so ``pytest benchmarks/ --benchmark-only`` emits the same rows
+and series the paper reports, alongside the timing data.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.harness.figures import FigureResult
+
+
+def _fmt(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(result: FigureResult, max_rows: int | None = None) -> str:
+    """Render a FigureResult as an aligned monospace table."""
+    rows = result.rows if max_rows is None else result.rows[:max_rows]
+    header = result.columns
+    body = [[_fmt(row.get(col, "")) for col in header] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in body)) if body else len(col)
+        for i, col in enumerate(header)
+    ]
+    lines = [
+        f"== {result.title} ==",
+        "  ".join(col.ljust(widths[i]) for i, col in enumerate(header)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for line in body:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(line)))
+    if max_rows is not None and len(result.rows) > max_rows:
+        lines.append(f"... ({len(result.rows) - max_rows} more rows)")
+    if result.summary:
+        lines.append("summary:")
+        for key, value in result.summary.items():
+            lines.append(f"  {key} = {_fmt(value)}")
+    if result.notes:
+        lines.append(f"paper: {result.notes}")
+    return "\n".join(lines)
+
+
+def print_figure(result: FigureResult, max_rows: int | None = None) -> None:
+    print()
+    print(render_table(result, max_rows=max_rows))
+
+
+def render_bars(
+    result: FigureResult,
+    value_column: str,
+    label_column: str = "app",
+    width: int = 40,
+    reference: float | None = None,
+) -> str:
+    """Render one column of a FigureResult as a horizontal bar chart.
+
+    ``reference`` draws a marker at that value (e.g. 1.0 for speedups).
+    """
+    rows = [r for r in result.rows if value_column in r]
+    if not rows:
+        return f"== {result.title} == (no data for {value_column!r})"
+    peak = max(float(r[value_column]) for r in rows)
+    if peak <= 0:
+        peak = 1.0
+    lines = [f"== {result.title} — {value_column} =="]
+    for row in rows:
+        value = float(row[value_column])
+        filled = int(round(width * value / peak))
+        bar = "#" * filled
+        if reference is not None and 0 < reference <= peak:
+            mark = int(round(width * reference / peak))
+            if mark < width:
+                bar = (bar + " " * width)[:width]
+                bar = bar[:mark] + "|" + bar[mark + 1:]
+        lines.append(
+            f"  {str(row[label_column]):>10s} {bar:<{width}s} {value:.3f}"
+        )
+    return "\n".join(lines)

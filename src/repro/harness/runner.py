@@ -1,0 +1,215 @@
+"""Experiment runner: one call = one (application, design, machine) run.
+
+Wires the full stack together — workload trace, compressed memory image,
+CABA controllers, simulator, energy model — and returns a
+:class:`RunResult` with every metric the paper's figures report. Results
+are memoized per process so the Figure 7/8/9 harnesses (which share the
+same runs) only simulate each point once; baseline compression sizes are
+also shared across designs of the same (app, algorithm) pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.compression import make_algorithm
+from repro.core.controller import CabaController
+from repro.core.params import CabaParams
+from repro.core.subroutines import SubroutineLibrary
+from repro.design import DesignPoint
+from repro.energy.model import EnergyBreakdown, EnergyModel
+from repro.gpu.config import GPUConfig
+from repro.gpu.simulator import SimulationResult, Simulator
+from repro.gpu.stats import Slot
+from repro.memory.image import LineInfo, MemoryImage
+from repro.workloads.apps import AppProfile, get_app
+from repro.workloads.data_patterns import make_line_generator
+from repro.workloads.tracegen import TraceScale, build_kernel
+
+
+@dataclass
+class RunResult:
+    """All per-run metrics used by the paper's figures."""
+
+    app: str
+    design: str
+    cycles: int
+    ipc: float
+    instructions: int
+    assist_instructions: int
+    bandwidth_utilization: float
+    compression_ratio: float
+    energy: EnergyBreakdown
+    slot_breakdown: dict[Slot, float]
+    md_cache_hit_rate: float | None
+    dram_bursts: dict[str, int]
+    l2_hit_rate: float
+    truncated: bool
+    occupancy_blocks: int
+    raw: SimulationResult = field(repr=False, default=None)
+
+    @property
+    def energy_total(self) -> float:
+        return self.energy.total
+
+
+# Per-process caches.
+_line_info_caches: dict[tuple, dict[int, LineInfo]] = {}
+_run_cache: dict[tuple, RunResult] = {}
+
+
+def clear_caches() -> None:
+    """Drop memoized runs and compression size caches (mainly for tests)."""
+    _line_info_caches.clear()
+    _run_cache.clear()
+
+
+def _resolve_app(app: str | AppProfile) -> AppProfile:
+    if isinstance(app, AppProfile):
+        return app
+    return get_app(app)
+
+
+def _compression_enabled(app: AppProfile, design: DesignPoint) -> bool:
+    """Section 4.3.1: static profiling disables compression for
+    applications that would not benefit (no compressible bandwidth)."""
+    return design.compression_enabled and app.compressible
+
+
+def build_image(
+    app: AppProfile, design: DesignPoint, config: GPUConfig
+) -> MemoryImage:
+    """The compressed global-memory view for one run."""
+    line_bytes = make_line_generator(
+        app.data, line_size=config.line_size, seed=app.seed
+    )
+    algorithm = None
+    if _compression_enabled(app, design):
+        algorithm = make_algorithm(design.algorithm, config.line_size)
+        cache_key = (app.name, design.algorithm, config.line_size)
+        shared = _line_info_caches.setdefault(cache_key, {})
+    else:
+        shared = None
+    return MemoryImage(
+        line_bytes,
+        algorithm,
+        line_size=config.line_size,
+        burst_bytes=config.burst_bytes,
+        shared_cache=shared,
+    )
+
+
+def _make_caba_factory(
+    design: DesignPoint,
+    config: GPUConfig,
+    params: CabaParams,
+) -> tuple[Callable | None, int]:
+    """Returns (controller factory, assist register demand per thread)."""
+    if not design.uses_assist_warps or design.algorithm is None:
+        return None, 0
+    library = SubroutineLibrary(line_size=config.line_size)
+
+    def factory(sm):
+        return CabaController(sm, params, library, design.algorithm)
+
+    return factory, library.register_demand(design.algorithm)
+
+
+def run_app(
+    app: str | AppProfile,
+    design: DesignPoint,
+    config: GPUConfig | None = None,
+    scale: TraceScale = TraceScale(),
+    caba_params: CabaParams | None = None,
+    use_cache: bool = True,
+) -> RunResult:
+    """Simulate one application under one design point.
+
+    Args:
+        app: Application name (see ``repro.workloads.APPLICATIONS``) or a
+            profile object.
+        design: Compression design point.
+        config: Machine configuration; defaults to ``GPUConfig.small()``
+            so casual calls stay fast. Use ``GPUConfig()`` for Table 1.
+        scale: Workload scaling.
+        caba_params: CABA framework knobs (CABA designs only).
+        use_cache: Reuse memoized results for identical runs.
+    """
+    profile = _resolve_app(app)
+    if config is None:
+        config = GPUConfig.small()
+    params = caba_params if caba_params is not None else CabaParams()
+
+    cache_key = None
+    if use_cache:
+        cache_key = (profile.name, design, config, scale, params)
+        cached = _run_cache.get(cache_key)
+        if cached is not None:
+            return cached
+
+    # Profiling gate (Section 4.3.1): incompressible apps run the
+    # baseline path even under compression designs.
+    effective_design = design
+    if design.compression_enabled and not profile.compressible:
+        from repro.design import base as base_design
+
+        effective_design = base_design()
+
+    image = build_image(profile, effective_design, config)
+    kernel = build_kernel(profile, config, scale)
+    caba_factory, assist_regs = _make_caba_factory(
+        effective_design, config, params
+    )
+    simulator = Simulator(
+        config,
+        kernel,
+        effective_design,
+        image,
+        caba_factory=caba_factory,
+        assist_regs_per_thread=assist_regs,
+    )
+    sim_result = simulator.run()
+    energy = EnergyModel().evaluate(sim_result, config, effective_design)
+
+    memory = sim_result.memory
+    l2_accesses = memory.stats.l2_accesses
+    result = RunResult(
+        app=profile.name,
+        design=design.name,
+        cycles=sim_result.cycles,
+        ipc=sim_result.ipc,
+        instructions=sim_result.stats.instructions,
+        assist_instructions=sim_result.stats.assist_instructions,
+        bandwidth_utilization=sim_result.bandwidth_utilization(),
+        compression_ratio=memory.image.observed_compression_ratio(),
+        energy=energy,
+        slot_breakdown=sim_result.stats.slot_breakdown(),
+        md_cache_hit_rate=memory.md_cache_hit_rate(),
+        dram_bursts=memory.dram_bursts(),
+        l2_hit_rate=(memory.stats.l2_hits / l2_accesses if l2_accesses else 0.0),
+        truncated=sim_result.truncated,
+        occupancy_blocks=sim_result.occupancy.blocks_per_sm,
+        raw=sim_result,
+    )
+    if cache_key is not None:
+        _run_cache[cache_key] = result
+    return result
+
+
+def speedup(result: RunResult, baseline: RunResult) -> float:
+    """IPC ratio vs. a baseline run of the same application."""
+    if baseline.ipc == 0:
+        return 0.0
+    return result.ipc / baseline.ipc
+
+
+def geomean(values) -> float:
+    """Geometric mean (the conventional speedup aggregate)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))

@@ -1,0 +1,38 @@
+"""Memory-hierarchy substrate: caches, interconnect, GDDR5, metadata.
+
+The hierarchy mirrors Section 4.2's baseline: private L1s per SM, a
+shared L2 banked across six memory controllers, and GDDR5 DRAM; the
+compressed designs store compressed data in L2/DRAM (bandwidth benefit
+only — no capacity benefit) and, for Fig. 13, optionally in
+tag-extended compressed caches.
+"""
+
+from repro.memory.cache import AccessResult, Cache, CacheStats
+from repro.memory.compressed_cache import CompressedAccessResult, CompressedCache
+from repro.memory.dram import DramStats, MemoryController, LINES_PER_ROW
+from repro.memory.hierarchy import LineFill, MemorySystem, TrafficStats
+from repro.memory.image import LineInfo, MemoryImage
+from repro.memory.interconnect import CONTROL_BYTES, Crossbar
+from repro.memory.metadata import MdLookup, MetadataCache
+from repro.memory.timeline import Timeline
+
+__all__ = [
+    "AccessResult",
+    "CONTROL_BYTES",
+    "Cache",
+    "CacheStats",
+    "CompressedAccessResult",
+    "CompressedCache",
+    "Crossbar",
+    "DramStats",
+    "LINES_PER_ROW",
+    "LineFill",
+    "LineInfo",
+    "MdLookup",
+    "MemoryController",
+    "MemoryImage",
+    "MemorySystem",
+    "MetadataCache",
+    "Timeline",
+    "TrafficStats",
+]

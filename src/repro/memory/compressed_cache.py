@@ -1,0 +1,135 @@
+"""Tag-extended compressed caches (Section 6.5, Figure 13).
+
+Bandwidth compression alone gives no capacity benefit: a compressed line
+still occupies a full slot. The Fig. 13 designs additionally provision
+2x or 4x the tags so several compressed lines can share the data space
+of one uncompressed slot. The model keeps per-set byte budgets equal to
+the uncompressed data array and admits up to ``assoc * tag_mult`` tagged
+lines per set as long as their compressed sizes fit — the standard
+"number of tags limits the effective compressed cache size" model the
+paper cites from BDI/Adaptive Cache Compression.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.memory.cache import CacheStats
+
+
+@dataclass(frozen=True)
+class CompressedAccessResult:
+    """Outcome of a compressed-cache access; may evict several victims."""
+
+    hit: bool
+    evicted: tuple[tuple[int, bool], ...] = ()  # (line, dirty)
+
+
+@dataclass
+class _Entry:
+    dirty: bool
+    size: int
+
+
+class CompressedCache:
+    """A set-associative cache whose lines occupy their compressed size.
+
+    Args:
+        n_sets: Sets, as in the uncompressed organization.
+        assoc: *Data* ways per set (the byte budget is ``assoc * line_size``).
+        line_size: Uncompressed line size.
+        tag_mult: Tag multiplier (2x/4x in the paper).
+    """
+
+    def __init__(
+        self, n_sets: int, assoc: int, line_size: int, tag_mult: int = 2
+    ) -> None:
+        if tag_mult < 1:
+            raise ValueError("tag_mult must be >= 1")
+        self.n_sets = n_sets
+        self.assoc = assoc
+        self.line_size = line_size
+        self.tag_mult = tag_mult
+        self.max_tags = assoc * tag_mult
+        self.data_budget = assoc * line_size
+        self.stats = CacheStats()
+        self._sets: list[OrderedDict[int, _Entry]] = [
+            OrderedDict() for _ in range(n_sets)
+        ]
+
+    def _set_for(self, line: int) -> OrderedDict[int, _Entry]:
+        # Same XOR-folded set hashing as the plain Cache model.
+        return self._sets[(line ^ (line >> 7) ^ (line >> 15)) % self.n_sets]
+
+    def probe(self, line: int) -> bool:
+        return line in self._set_for(line)
+
+    def stored_size(self, line: int) -> int | None:
+        """Compressed size the cache holds for ``line`` (None if absent)."""
+        entry = self._set_for(line).get(line)
+        return entry.size if entry is not None else None
+
+    def access(
+        self,
+        line: int,
+        size: int,
+        is_write: bool = False,
+        allocate: bool = True,
+    ) -> CompressedAccessResult:
+        """Look up ``line``; on an allocating miss, insert its compressed
+        ``size`` bytes, evicting LRU lines until both the tag count and the
+        byte budget fit."""
+        if not 1 <= size <= self.line_size:
+            raise ValueError(f"bad compressed size {size}")
+        target = self._set_for(line)
+        self.stats.accesses += 1
+        entry = target.get(line)
+        if entry is not None:
+            self.stats.hits += 1
+            target.move_to_end(line)
+            if is_write:
+                entry.dirty = True
+            entry.size = size
+            return CompressedAccessResult(hit=True)
+        self.stats.misses += 1
+        if not allocate:
+            return CompressedAccessResult(hit=False)
+        evicted = self._make_room(target, size)
+        target[line] = _Entry(dirty=is_write, size=size)
+        return CompressedAccessResult(hit=False, evicted=tuple(evicted))
+
+    def _make_room(
+        self, target: OrderedDict[int, _Entry], size: int
+    ) -> list[tuple[int, bool]]:
+        evicted: list[tuple[int, bool]] = []
+        used = sum(e.size for e in target.values())
+        while target and (
+            len(target) >= self.max_tags or used + size > self.data_budget
+        ):
+            victim_line, victim = target.popitem(last=False)
+            used -= victim.size
+            evicted.append((victim_line, victim.dirty))
+            self.stats.evictions += 1
+            if victim.dirty:
+                self.stats.dirty_evictions += 1
+        return evicted
+
+    def invalidate(self, line: int) -> bool:
+        target = self._set_for(line)
+        if line in target:
+            del target[line]
+            return True
+        return False
+
+    def resident_lines(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def occupancy(self) -> float:
+        """Fraction of the data budget in use (mean over sets)."""
+        if not self._sets:
+            return 0.0
+        fractions = [
+            sum(e.size for e in s.values()) / self.data_budget for s in self._sets
+        ]
+        return sum(fractions) / len(fractions)

@@ -1,0 +1,139 @@
+"""The compressed view of global memory.
+
+The paper prepares input data in compressed form before transferring it
+to the GPU (Section 4.3.1), so every global-memory line has a compressed
+size from the outset. :class:`MemoryImage` provides that view: it lazily
+materializes the bytes of each line through a deterministic generator
+(supplied by the workload), runs the active compression algorithm on
+them, and caches the resulting size/encoding. Store-written lines can
+override their recorded size (e.g. when CABA's compression assist warp
+was throttled and the line went back uncompressed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.compression.base import CompressionAlgorithm, bursts_for
+
+#: Produces the bytes of one line given its line address.
+LineBytesFn = Callable[[int], bytes]
+
+
+@dataclass(frozen=True)
+class LineInfo:
+    """Compressed-size record for one global-memory line."""
+
+    size_bytes: int
+    encoding: str
+
+    @property
+    def is_compressed(self) -> bool:
+        return self.encoding != "uncompressed"
+
+
+class MemoryImage:
+    """Per-line compressed sizes of the simulated global memory.
+
+    Args:
+        line_bytes: Deterministic generator of each line's contents.
+        algorithm: Active compression algorithm, or ``None`` for the
+            uncompressed baseline.
+        line_size: Line size in bytes.
+        burst_bytes: DRAM burst granularity.
+    """
+
+    def __init__(
+        self,
+        line_bytes: LineBytesFn,
+        algorithm: CompressionAlgorithm | None,
+        line_size: int = 128,
+        burst_bytes: int = 32,
+        shared_cache: dict[int, LineInfo] | None = None,
+    ) -> None:
+        """``shared_cache`` lets several runs of the same workload +
+        algorithm share the (immutable) baseline size cache; store
+        overrides always stay private to one run."""
+        if algorithm is not None and algorithm.line_size != line_size:
+            raise ValueError(
+                f"algorithm line size {algorithm.line_size} != {line_size}"
+            )
+        self._line_bytes = line_bytes
+        self.algorithm = algorithm
+        self.line_size = line_size
+        self.burst_bytes = burst_bytes
+        self._cache: dict[int, LineInfo] = (
+            shared_cache if shared_cache is not None else {}
+        )
+        self._overrides: dict[int, LineInfo] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def compression_enabled(self) -> bool:
+        return self.algorithm is not None
+
+    def info(self, line: int) -> LineInfo:
+        """Compressed size and encoding of ``line`` as currently stored."""
+        override = self._overrides.get(line)
+        if override is not None:
+            return override
+        return self._baseline_info(line)
+
+    def _baseline_info(self, line: int) -> LineInfo:
+        cached = self._cache.get(line)
+        if cached is not None:
+            return cached
+        if self.algorithm is None:
+            info = LineInfo(self.line_size, "uncompressed")
+        else:
+            compressed = self.algorithm.compress(self._line_bytes(line))
+            info = LineInfo(compressed.size_bytes, compressed.encoding)
+        self._cache[line] = info
+        return info
+
+    def size_of(self, line: int) -> int:
+        return self.info(line).size_bytes
+
+    def bursts_of(self, line: int) -> int:
+        return bursts_for(self.info(line).size_bytes, self.burst_bytes)
+
+    @property
+    def line_bursts(self) -> int:
+        """Bursts for a full uncompressed line."""
+        return bursts_for(self.line_size, self.burst_bytes)
+
+    # ------------------------------------------------------------------
+    # Store-side updates
+    # ------------------------------------------------------------------
+    def record_store(self, line: int, compressed: bool) -> LineInfo:
+        """Record the stored form of ``line`` after a writeback.
+
+        When ``compressed`` the line keeps its algorithmic size (stored
+        data is assumed to follow the application's data patterns, as the
+        baseline image does); otherwise the line is marked uncompressed
+        until a later compressed store replaces it.
+        """
+        if compressed and self.algorithm is not None:
+            info = self._baseline_info(line)
+        else:
+            info = LineInfo(self.line_size, "uncompressed")
+        self._overrides[line] = info
+        return info
+
+    # ------------------------------------------------------------------
+    # Aggregate statistics (used by the Fig. 11 harness)
+    # ------------------------------------------------------------------
+    def observed_compression_ratio(self) -> float:
+        """Burst-weighted compression ratio over every line touched so far."""
+        seen = {**self._cache, **self._overrides}
+        if not seen:
+            return 1.0
+        uncompressed = len(seen) * self.line_bursts
+        compressed = sum(
+            bursts_for(info.size_bytes, self.burst_bytes) for info in seen.values()
+        )
+        return uncompressed / compressed
+
+    def lines_touched(self) -> int:
+        return len({**self._cache, **self._overrides})

@@ -1,0 +1,26 @@
+"""Synthetic workload pool: application profiles, traces, data patterns."""
+
+from repro.workloads.apps import (
+    APPLICATIONS,
+    COMPRESSION_APPS,
+    FIGURE1_APPS,
+    AppProfile,
+    OpSpec,
+    get_app,
+)
+from repro.workloads.data_patterns import PATTERNS, make_line_generator
+from repro.workloads.tracegen import TraceScale, build_kernel, build_program
+
+__all__ = [
+    "APPLICATIONS",
+    "AppProfile",
+    "COMPRESSION_APPS",
+    "FIGURE1_APPS",
+    "OpSpec",
+    "PATTERNS",
+    "TraceScale",
+    "build_kernel",
+    "build_program",
+    "get_app",
+    "make_line_generator",
+]

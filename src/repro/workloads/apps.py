@@ -1,0 +1,390 @@
+"""The 27-application workload pool (Section 5) as synthetic profiles.
+
+Each :class:`AppProfile` captures what matters for the paper's results:
+the instruction mix (how memory-bound the kernel is and what stalls it),
+the access pattern (coalescing, cache locality, DRAM row behaviour), the
+static resource demands (registers — Figure 2), and the data-value
+mixture (per-algorithm compressibility — Figure 11). The profiles are a
+model of the original benchmarks' published characteristics, not their
+semantics; see DESIGN.md for the substitution rationale.
+
+Suites: CUDA SDK (BFS, CONS, JPEG, LPS, MUM, RAY, SCP, TRA, SLA, NQU,
+STO, lc, pt, mc), Rodinia (hs, nw, bp, NN, sc), Mars (KM, MM, PVC, PVR,
+SS), Lonestar (bfs, bh, mst, sp, sssp, dmr).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """One step of a kernel's loop body.
+
+    kind: ``alu`` | ``heavy_alu`` | ``sfu`` | ``load`` | ``store`` |
+        ``shared_load`` | ``sync``.
+    pattern: for memory ops — ``stream`` (coalesced, touched once),
+        ``stride`` (two lines per access), ``random`` (divergent), or
+        ``reuse`` (random within a small hot set).
+    footprint: for ``random``/``reuse`` — region size as a multiple of
+        the machine's L2 capacity (None for streamed regions, which are
+        sized to the total work).
+    fanout: unique lines per warp access (memory divergence).
+    phase: temporal locality of stream/stride accesses — the same line
+        is re-touched this many consecutive iterations before the
+        stream advances (re-touches hit in the L1/L2).
+    """
+
+    kind: str
+    count: int = 1
+    pattern: str = "stream"
+    region: int = 0
+    footprint: float | None = None
+    fanout: int = 1
+    phase: int = 1
+
+
+def _ops(*specs: OpSpec) -> tuple[OpSpec, ...]:
+    return specs
+
+
+@dataclass(frozen=True)
+class AppProfile:
+    """Synthetic stand-in for one benchmark application."""
+
+    name: str
+    suite: str
+    #: ``memory`` or ``compute`` — the Figure 1 categorization.
+    category: str
+    #: Whether the paper's profiling enables CABA compression for it
+    #: (bandwidth-sensitive with >= 10% compressible bandwidth).
+    compressible: bool
+    #: Data-pattern mixture (see repro.workloads.data_patterns).
+    data: Mapping[str, float]
+    body: tuple[OpSpec, ...]
+    iterations: int
+    warps_per_block: int
+    regs_per_thread: int
+    smem_per_block: int = 0
+    #: Grid size in units of full-machine waves of blocks.
+    waves: float = 2.0
+    #: Deterministic data seed.
+    seed: int = 0
+
+
+def _mem_body(loads: int, alus: int, pattern: str = "stream",
+              footprint: float | None = None, fanout: int = 1,
+              stores: int = 0, store_pattern: str = "stream") -> tuple:
+    """A typical memory-bound loop: loads up front, dependent ALU work,
+    optionally stores."""
+    specs = [
+        OpSpec("load", count=loads, pattern=pattern, footprint=footprint,
+               fanout=fanout)
+    ]
+    specs.append(OpSpec("alu", count=alus))
+    if stores:
+        specs.append(OpSpec("store", count=stores, pattern=store_pattern,
+                            region=7, footprint=footprint))
+    return _ops(*specs)
+
+
+def _compute_body(alus: int, heavy: int, sfus: int, loads: int = 1) -> tuple:
+    specs = []
+    if loads:
+        specs.append(OpSpec("load", count=loads, pattern="reuse",
+                            footprint=0.4))
+    specs.append(OpSpec("alu", count=alus))
+    if heavy:
+        specs.append(OpSpec("heavy_alu", count=heavy))
+    if sfus:
+        specs.append(OpSpec("sfu", count=sfus))
+    return _ops(*specs)
+
+
+APPLICATIONS: dict[str, AppProfile] = {}
+
+
+def _register(app: AppProfile) -> None:
+    if app.name in APPLICATIONS:
+        raise ValueError(f"duplicate application {app.name!r}")
+    APPLICATIONS[app.name] = app
+
+
+# ----------------------------------------------------------------------
+# Memory-bound applications (Figure 1, left group)
+# ----------------------------------------------------------------------
+_register(AppProfile(
+    name="BFS", suite="cuda", category="memory", compressible=True,
+    data={"small_int": 0.5, "pointer": 0.25, "zeros": 0.15, "random": 0.1},
+    # Graph frontier expansion: divergent accesses over an L2-resident
+    # frontier — the paper notes BFS is interconnect-bandwidth-limited.
+    body=_mem_body(loads=3, alus=3, pattern="random", footprint=0.6, fanout=2),
+    iterations=24, warps_per_block=6, regs_per_thread=14, seed=11,
+))
+_register(AppProfile(
+    name="CONS", suite="cuda", category="memory", compressible=True,
+    data={"float32": 0.5, "narrow4": 0.3, "zeros": 0.1, "random": 0.1},
+    body=_ops(
+        OpSpec("load", count=1, pattern="stream", phase=3),
+        OpSpec("load", count=1, pattern="reuse", region=5, footprint=0.3),
+        OpSpec("alu", count=6),
+        OpSpec("store", count=1, region=7, phase=3),
+    ),
+    iterations=26, warps_per_block=8, regs_per_thread=16, seed=12,
+))
+_register(AppProfile(
+    name="JPEG", suite="cuda", category="memory", compressible=True,
+    data={"small_int": 0.45, "text": 0.3, "dict_words": 0.15, "random": 0.1},
+    body=_ops(
+        OpSpec("load", count=1, pattern="stream", phase=3),
+        OpSpec("load", count=1, pattern="reuse", region=5, footprint=0.25),
+        OpSpec("alu", count=8),
+        OpSpec("store", count=1, region=7, phase=3),
+    ),
+    iterations=24, warps_per_block=8, regs_per_thread=21, seed=13,
+))
+_register(AppProfile(
+    name="LPS", suite="cuda", category="memory", compressible=True,
+    data={"small_int": 0.4, "text": 0.3, "float32": 0.2, "random": 0.1},
+    body=_ops(
+        OpSpec("load", count=2, pattern="stride", phase=2),
+        OpSpec("load", count=1, pattern="reuse", region=5, footprint=0.3),
+        OpSpec("alu", count=7),
+        OpSpec("store", count=1, region=7, phase=2),
+    ),
+    iterations=24, warps_per_block=8, regs_per_thread=17, seed=14,
+))
+_register(AppProfile(
+    name="MUM", suite="cuda", category="memory", compressible=True,
+    data={"text": 0.45, "dict_words": 0.3, "small_int": 0.1, "random": 0.15},
+    body=_mem_body(loads=3, alus=4, pattern="random", footprint=3.0, fanout=2),
+    iterations=22, warps_per_block=6, regs_per_thread=20, seed=15,
+))
+_register(AppProfile(
+    name="RAY", suite="cuda", category="memory", compressible=True,
+    data={"float32": 0.6, "narrow4": 0.2, "zeros": 0.05, "random": 0.15},
+    # High L2 reuse: rays traverse a scene structure resident in the L2.
+    body=_mem_body(loads=2, alus=10, pattern="reuse", footprint=0.7),
+    iterations=26, warps_per_block=6, regs_per_thread=26, seed=16,
+))
+_register(AppProfile(
+    name="SCP", suite="cuda", category="memory", compressible=False,
+    data={"random": 0.95, "zeros": 0.05},
+    body=_mem_body(loads=3, alus=4, stores=1),
+    iterations=24, warps_per_block=8, regs_per_thread=14, seed=17,
+))
+_register(AppProfile(
+    name="MM", suite="mars", category="memory", compressible=True,
+    data={"narrow8": 0.55, "narrow4": 0.28, "zeros": 0.12, "random": 0.05},
+    body=_mem_body(loads=4, alus=6, stores=1),
+    iterations=26, warps_per_block=8, regs_per_thread=18, seed=18,
+))
+_register(AppProfile(
+    name="PVC", suite="mars", category="memory", compressible=True,
+    data={"narrow8": 0.6, "text": 0.2, "zeros": 0.15, "random": 0.05},
+    body=_mem_body(loads=4, alus=3, stores=1),
+    iterations=28, warps_per_block=8, regs_per_thread=15, seed=19,
+))
+_register(AppProfile(
+    name="PVR", suite="mars", category="memory", compressible=True,
+    data={"narrow8": 0.55, "text": 0.17, "pointer": 0.12, "zeros": 0.11,
+          "random": 0.05},
+    body=_mem_body(loads=4, alus=3, stores=1),
+    iterations=28, warps_per_block=8, regs_per_thread=16, seed=20,
+))
+_register(AppProfile(
+    name="SS", suite="mars", category="memory", compressible=True,
+    data={"text": 0.5, "small_int": 0.2, "dict_words": 0.15, "random": 0.15},
+    body=_ops(
+        OpSpec("load", count=2, pattern="stream", phase=4),
+        OpSpec("load", count=1, pattern="reuse", region=5, footprint=0.3),
+        OpSpec("alu", count=6),
+        OpSpec("store", count=1, region=7, phase=4),
+    ),
+    iterations=26, warps_per_block=8, regs_per_thread=16, seed=21,
+))
+_register(AppProfile(
+    name="sc", suite="rodinia", category="memory", compressible=False,
+    data={"random": 0.9, "float32": 0.1},
+    body=_mem_body(loads=3, alus=5, stores=1),
+    iterations=22, warps_per_block=8, regs_per_thread=20, seed=22,
+))
+_register(AppProfile(
+    name="bfs", suite="lonestar", category="memory", compressible=True,
+    data={"small_int": 0.45, "pointer": 0.3, "zeros": 0.15, "random": 0.1},
+    body=_mem_body(loads=3, alus=3, pattern="random", footprint=0.5, fanout=2),
+    iterations=24, warps_per_block=6, regs_per_thread=15, seed=23,
+))
+_register(AppProfile(
+    name="bh", suite="lonestar", category="memory", compressible=True,
+    data={"float32": 0.4, "pointer": 0.35, "small_int": 0.1, "random": 0.15},
+    body=_mem_body(loads=2, alus=8, pattern="random", footprint=2.0, fanout=2),
+    iterations=22, warps_per_block=6, regs_per_thread=24, seed=24,
+))
+_register(AppProfile(
+    name="mst", suite="lonestar", category="memory", compressible=True,
+    data={"pointer": 0.4, "small_int": 0.3, "zeros": 0.2, "random": 0.1},
+    body=_mem_body(loads=4, alus=3, pattern="random", footprint=2.5, fanout=2),
+    iterations=24, warps_per_block=6, regs_per_thread=16, seed=25,
+))
+_register(AppProfile(
+    name="sp", suite="lonestar", category="memory", compressible=True,
+    data={"small_int": 0.5, "zeros": 0.25, "pointer": 0.15, "random": 0.1},
+    body=_ops(
+        OpSpec("load", count=2, pattern="stride", phase=2),
+        OpSpec("load", count=1, pattern="reuse", region=5, footprint=0.4),
+        OpSpec("alu", count=5),
+        OpSpec("store", count=1, region=7, phase=2),
+    ),
+    iterations=24, warps_per_block=8, regs_per_thread=15, seed=26,
+))
+_register(AppProfile(
+    name="sssp", suite="lonestar", category="memory", compressible=True,
+    data={"small_int": 0.5, "pointer": 0.25, "zeros": 0.12, "random": 0.13},
+    body=_mem_body(loads=3, alus=4, pattern="random", footprint=2.0, fanout=2),
+    iterations=24, warps_per_block=6, regs_per_thread=16, seed=27,
+))
+
+# ----------------------------------------------------------------------
+# Applications in the compression study but not Figure 1's 27
+# ----------------------------------------------------------------------
+_register(AppProfile(
+    name="SLA", suite="cuda", category="compute", compressible=True,
+    data={"narrow8": 0.4, "float32": 0.3, "zeros": 0.1, "random": 0.2},
+    body=_ops(
+        OpSpec("load", count=1, pattern="stream", phase=3),
+        OpSpec("load", count=1, pattern="reuse", region=5, footprint=0.35),
+        OpSpec("alu", count=8),
+        OpSpec("store", count=1, region=7, phase=3),
+    ),
+    iterations=26, warps_per_block=8, regs_per_thread=18, seed=28,
+))
+_register(AppProfile(
+    name="TRA", suite="cuda", category="memory", compressible=True,
+    data={"narrow4": 0.5, "small_int": 0.3, "zeros": 0.1, "random": 0.1},
+    # Transpose: strided, L2-sensitive (benefits from L2 compression,
+    # Fig. 13).
+    body=_mem_body(loads=3, alus=3, pattern="stride", stores=1,
+                   store_pattern="stride"),
+    iterations=24, warps_per_block=8, regs_per_thread=14, seed=29,
+))
+_register(AppProfile(
+    name="nw", suite="rodinia", category="memory", compressible=True,
+    data={"small_int": 0.55, "text": 0.2, "dict_words": 0.15, "random": 0.1},
+    body=_ops(
+        OpSpec("load", count=2, pattern="stride", phase=2),
+        OpSpec("load", count=1, pattern="reuse", region=5, footprint=0.3),
+        OpSpec("alu", count=5),
+        OpSpec("sync"),
+        OpSpec("store", count=1, region=7, phase=2),
+    ),
+    iterations=22, warps_per_block=4, regs_per_thread=17, seed=30,
+))
+_register(AppProfile(
+    name="KM", suite="mars", category="memory", compressible=True,
+    data={"float32": 0.4, "narrow4": 0.25, "dict_words": 0.2, "random": 0.15},
+    body=_ops(
+        OpSpec("load", count=1, pattern="stream", phase=4),
+        OpSpec("load", count=1, pattern="reuse", region=5, footprint=0.5),
+        OpSpec("alu", count=9),
+        OpSpec("store", count=1, region=7, phase=4),
+    ),
+    iterations=26, warps_per_block=8, regs_per_thread=17, seed=31,
+))
+
+# ----------------------------------------------------------------------
+# Compute-bound applications (Figure 1, right group)
+# ----------------------------------------------------------------------
+_register(AppProfile(
+    name="bp", suite="rodinia", category="compute", compressible=False,
+    data={"float32": 0.6, "narrow4": 0.2, "random": 0.2},
+    body=_compute_body(alus=10, heavy=2, sfus=1),
+    iterations=30, warps_per_block=8, regs_per_thread=18, seed=40,
+))
+_register(AppProfile(
+    name="hs", suite="rodinia", category="compute", compressible=True,
+    data={"float32": 0.55, "narrow4": 0.25, "zeros": 0.05, "random": 0.15},
+    body=_ops(
+        OpSpec("load", count=2, pattern="stream", phase=2),
+        OpSpec("shared_load", count=2),
+        OpSpec("alu", count=8),
+        OpSpec("heavy_alu", count=2),
+        OpSpec("store", count=1, region=7),
+    ),
+    iterations=26, warps_per_block=8, regs_per_thread=22,
+    smem_per_block=4096, seed=41,
+))
+_register(AppProfile(
+    name="dmr", suite="lonestar", category="compute", compressible=False,
+    data={"float32": 0.5, "pointer": 0.3, "random": 0.2},
+    # Delaunay mesh refinement: long SFU chains cause the data-dependence
+    # stalls the paper calls out for dmr.
+    body=_compute_body(alus=6, heavy=2, sfus=4),
+    iterations=26, warps_per_block=6, regs_per_thread=30, seed=42,
+))
+_register(AppProfile(
+    name="NQU", suite="cuda", category="compute", compressible=False,
+    data={"small_int": 0.6, "zeros": 0.2, "random": 0.2},
+    body=_compute_body(alus=14, heavy=2, sfus=0, loads=1),
+    iterations=30, warps_per_block=4, regs_per_thread=12, seed=43,
+))
+_register(AppProfile(
+    name="pt", suite="lonestar", category="compute", compressible=False,
+    data={"float32": 0.5, "narrow4": 0.3, "random": 0.2},
+    body=_compute_body(alus=10, heavy=3, sfus=1),
+    iterations=28, warps_per_block=8, regs_per_thread=24, seed=44,
+))
+_register(AppProfile(
+    name="lc", suite="cuda", category="compute", compressible=False,
+    data={"float32": 0.5, "small_int": 0.3, "random": 0.2},
+    body=_compute_body(alus=12, heavy=2, sfus=1),
+    iterations=28, warps_per_block=8, regs_per_thread=20, seed=45,
+))
+_register(AppProfile(
+    name="STO", suite="cuda", category="compute", compressible=False,
+    data={"text": 0.5, "dict_words": 0.3, "random": 0.2},
+    body=_compute_body(alus=12, heavy=3, sfus=0),
+    iterations=28, warps_per_block=8, regs_per_thread=16, seed=46,
+))
+_register(AppProfile(
+    name="NN", suite="rodinia", category="compute", compressible=False,
+    data={"float32": 0.6, "narrow4": 0.2, "random": 0.2},
+    body=_compute_body(alus=9, heavy=2, sfus=2),
+    iterations=28, warps_per_block=8, regs_per_thread=22, seed=47,
+))
+_register(AppProfile(
+    name="mc", suite="cuda", category="compute", compressible=False,
+    data={"float32": 0.5, "random": 0.5},
+    body=_compute_body(alus=8, heavy=2, sfus=3),
+    iterations=28, warps_per_block=8, regs_per_thread=20, seed=48,
+))
+
+# ----------------------------------------------------------------------
+# Named subsets used by the harness
+# ----------------------------------------------------------------------
+#: Figure 1's 27 applications (order follows the figure: memory-bound
+#: group first, then compute-bound).
+FIGURE1_APPS: tuple[str, ...] = (
+    "BFS", "CONS", "JPEG", "LPS", "MUM", "RAY", "SCP", "MM", "PVC",
+    "PVR", "SS", "sc", "bfs", "bh", "mst", "sp", "sssp",
+    "bp", "hs", "dmr", "NQU", "SLA", "pt", "lc", "STO", "NN", "mc",
+)
+
+#: The 20 applications of the compression evaluation (Section 5).
+COMPRESSION_APPS: tuple[str, ...] = (
+    "BFS", "CONS", "JPEG", "LPS", "MUM", "RAY", "SLA", "TRA",
+    "hs", "nw",
+    "KM", "MM", "PVC", "PVR", "SS",
+    "bfs", "bh", "mst", "sp", "sssp",
+)
+
+
+def get_app(name: str) -> AppProfile:
+    """Look up an application profile by name."""
+    try:
+        return APPLICATIONS[name]
+    except KeyError:
+        known = ", ".join(sorted(APPLICATIONS))
+        raise KeyError(f"unknown application {name!r} (known: {known})")

@@ -1,0 +1,188 @@
+"""Synthetic data generators with controlled compressibility.
+
+The paper's applications compress differently under BDI, FPC and C-Pack
+because their in-memory value patterns differ (Section 6.3: LPS, JPEG,
+MUM, nw favour FPC/C-Pack; MM, PVC, PVR favour BDI). Each workload here
+declares a *mixture* of the named patterns below; every global-memory
+line deterministically draws one pattern (hashed from its address), and
+the compression algorithms then run on the real bytes — compression
+ratios are measured, never assumed.
+
+Patterns and the algorithms they favour:
+
+==============  ==========================================================
+``zeros``       all-zero line — every algorithm's best case
+``narrow8``     8-byte values, one base + tiny deltas — BDI (B8D1)
+``narrow4``     4-byte values, one base + small deltas — BDI (B4D1/B4D2)
+``small_int``   small signed 32-bit integers — FPC narrow patterns, BDI
+``pointer``     8-byte pointers sharing high bytes — BDI wide deltas
+``dict_words``  few distinct 32-bit words — C-Pack dictionary hits
+``text``        byte-granular runs — FPC repeated bytes / C-Pack partial
+``float32``     shared exponents, noisy mantissas — C-Pack mmxx, BDI B4D2
+``random``      incompressible
+==============  ==========================================================
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Mapping
+
+_M64 = (1 << 64) - 1
+
+
+def _mix(x: int) -> int:
+    """A splitmix64-style hash used for deterministic per-line draws."""
+    x = (x + 0x9E3779B97F4A7C15) & _M64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _M64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _M64
+    return x ^ (x >> 31)
+
+
+class _Rng:
+    """Tiny deterministic generator seeded from (seed, line)."""
+
+    __slots__ = ("state",)
+
+    def __init__(self, seed: int, line: int) -> None:
+        self.state = _mix((seed << 32) ^ (line & 0xFFFFFFFF)) or 1
+
+    def next64(self) -> int:
+        self.state = _mix(self.state)
+        return self.state
+
+    def below(self, n: int) -> int:
+        return self.next64() % n
+
+
+# ----------------------------------------------------------------------
+# Pattern builders: (rng, line_size) -> bytes
+# ----------------------------------------------------------------------
+def _zeros(rng: _Rng, line_size: int) -> bytes:
+    return bytes(line_size)
+
+
+def _narrow8(rng: _Rng, line_size: int) -> bytes:
+    base = rng.next64() & 0xFFFFFFFFFF00
+    out = bytearray()
+    for _ in range(line_size // 8):
+        value = (base + rng.below(100)) & _M64
+        out += value.to_bytes(8, "little")
+    return bytes(out)
+
+
+def _narrow4(rng: _Rng, line_size: int) -> bytes:
+    base = rng.next64() & 0xFFFFFF00
+    out = bytearray()
+    for _ in range(line_size // 4):
+        out += ((base + rng.below(64)) & 0xFFFFFFFF).to_bytes(4, "little")
+    return bytes(out)
+
+
+def _small_int(rng: _Rng, line_size: int) -> bytes:
+    out = bytearray()
+    for _ in range(line_size // 4):
+        value = rng.below(256) - 128
+        out += (value & 0xFFFFFFFF).to_bytes(4, "little")
+    return bytes(out)
+
+
+def _pointer(rng: _Rng, line_size: int) -> bytes:
+    base = (rng.next64() & 0x7FFF_FF00_0000) | 0x7F00_0000_0000
+    out = bytearray()
+    for _ in range(line_size // 8):
+        value = (base + rng.below(1 << 22) * 8) & _M64
+        out += value.to_bytes(8, "little")
+    return bytes(out)
+
+
+def _dict_words(rng: _Rng, line_size: int) -> bytes:
+    vocabulary = [rng.next64() & 0xFFFFFFFF for _ in range(4)]
+    out = bytearray()
+    for _ in range(line_size // 4):
+        out += vocabulary[rng.below(4)].to_bytes(4, "little")
+    return bytes(out)
+
+
+def _text(rng: _Rng, line_size: int) -> bytes:
+    out = bytearray()
+    while len(out) < line_size:
+        run = 4 * (1 + rng.below(4))
+        byte = 0x20 + rng.below(96)
+        out += bytes([byte]) * run
+    return bytes(out[:line_size])
+
+
+def _float32(rng: _Rng, line_size: int) -> bytes:
+    exponent = (0x3F00 + rng.below(8) * 0x80) << 16
+    out = bytearray()
+    for _ in range(line_size // 4):
+        out += ((exponent | rng.below(1 << 16)) & 0xFFFFFFFF).to_bytes(4, "little")
+    return bytes(out)
+
+
+def _random(rng: _Rng, line_size: int) -> bytes:
+    out = bytearray()
+    for _ in range(line_size // 8):
+        out += rng.next64().to_bytes(8, "little")
+    return bytes(out)
+
+
+PATTERNS: dict[str, Callable[[_Rng, int], bytes]] = {
+    "zeros": _zeros,
+    "narrow8": _narrow8,
+    "narrow4": _narrow4,
+    "small_int": _small_int,
+    "pointer": _pointer,
+    "dict_words": _dict_words,
+    "text": _text,
+    "float32": _float32,
+    "random": _random,
+}
+
+
+def make_line_generator(
+    mixture: Mapping[str, float],
+    line_size: int = 128,
+    seed: int = 1,
+) -> Callable[[int], bytes]:
+    """Build a deterministic per-line byte generator from a pattern mixture.
+
+    Args:
+        mixture: Pattern name -> weight (weights normalize automatically).
+        line_size: Bytes per line.
+        seed: Workload seed; distinct workloads get distinct data.
+
+    Returns:
+        A function mapping a line address to that line's bytes. The same
+        address always yields the same bytes.
+    """
+    if not mixture:
+        raise ValueError("mixture must name at least one pattern")
+    unknown = set(mixture) - set(PATTERNS)
+    if unknown:
+        raise ValueError(f"unknown data patterns: {sorted(unknown)}")
+    total = float(sum(mixture.values()))
+    if total <= 0 or any(w < 0 for w in mixture.values()):
+        raise ValueError("pattern weights must be non-negative, sum > 0")
+
+    names = sorted(mixture)
+    cumulative: list[tuple[float, str]] = []
+    acc = 0.0
+    for name in names:
+        acc += mixture[name] / total
+        cumulative.append((acc, name))
+
+    def line_bytes(line: int) -> bytes:
+        draw = (_mix((seed << 20) ^ line) % (1 << 24)) / float(1 << 24)
+        for bound, name in cumulative:
+            if draw <= bound or name == names[-1]:
+                chosen = name
+                break
+        # A stable (non-randomized) pattern-name hash keeps generated data
+        # identical across processes.
+        name_hash = sum(ord(c) * 31 ** k for k, c in enumerate(chosen)) % 997
+        rng = _Rng(seed * 1000003 + name_hash, line)
+        return PATTERNS[chosen](rng, line_size)
+
+    return line_bytes

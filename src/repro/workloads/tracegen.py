@@ -1,0 +1,247 @@
+"""Build executable kernels (programs + address streams) from profiles.
+
+Converts an :class:`~repro.workloads.apps.AppProfile` into a
+:class:`~repro.gpu.kernel.Kernel` for a given machine: the loop body
+becomes a register-allocated instruction sequence and every memory op
+gets a deterministic address generator reflecting the profile's access
+pattern. Streamed regions are sized to the total work (each line touched
+once); random/reuse regions are sized relative to the machine's L2 so
+cache behaviour scales with the configuration.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.gpu.config import GPUConfig
+from repro.gpu.isa import Instr, MemSpace, OpKind, Program, reg_mask, sync
+from repro.gpu.kernel import Kernel
+from repro.workloads.apps import AppProfile, OpSpec
+
+#: Line-address distance between distinct data regions (keeps regions in
+#: disjoint DRAM rows without overlapping for any realistic footprint).
+#: A prime stride avoids pathological set aliasing across regions in the
+#: caches and the MD cache — real allocators do not hand out buffers at
+#: identical multi-MB power-of-two offsets either.
+REGION_STRIDE = 4_194_301
+
+#: Register slots rotated across the loads of a loop body; the rotation
+#: bounds per-warp MLP the way a real register allocation does.
+LOAD_REGS = (3, 4, 5, 6)
+
+_M64 = (1 << 64) - 1
+
+
+def _mix(x: int) -> int:
+    x = (x + 0x9E3779B97F4A7C15) & _M64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _M64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _M64
+    return x ^ (x >> 31)
+
+
+@dataclass(frozen=True)
+class TraceScale:
+    """Workload scaling knobs.
+
+    ``work`` scales per-warp iterations; ``waves`` scales the grid.
+    The defaults run each profile as authored.
+    """
+
+    work: float = 1.0
+    waves: float | None = None
+
+
+# ----------------------------------------------------------------------
+# Address-generator factories
+# ----------------------------------------------------------------------
+def _stream_fn(base: int, n: int, total_warps: int, fanout: int,
+               phase: int = 1):
+    if fanout == 1:
+        def fn(w: int, i: int):
+            return ((base + ((i // phase) * total_warps + w) % n),)
+        return fn
+
+    def fn(w: int, i: int):
+        first = ((i // phase) * total_warps + w) * fanout
+        return tuple(base + (first + j) % n for j in range(fanout))
+    return fn
+
+
+def _stride_fn(base: int, n: int, total_warps: int, fanout: int,
+               phase: int = 1):
+    gap = max(1, n // 2)
+
+    def fn(w: int, i: int):
+        x = ((i // phase) * total_warps + w) % n
+        return tuple(base + (x + j * gap) % n for j in range(max(2, fanout)))
+    return fn
+
+
+def _random_fn(base: int, n: int, salt: int, fanout: int):
+    def fn(w: int, i: int):
+        h = _mix((w << 20) ^ (i * 0x85EBCA6B) ^ salt)
+        return tuple(
+            base + ((h >> (13 * j)) % n) for j in range(fanout)
+        )
+    return fn
+
+
+def _reuse_fn(base: int, n: int, salt: int, fanout: int):
+    # Random accesses confined to a hot set -> high cache hit rates.
+    def fn(w: int, i: int):
+        h = _mix((w * 0x9E3779B1) ^ i ^ salt)
+        return tuple(base + ((h >> (9 * j)) % n) for j in range(fanout))
+    return fn
+
+
+def _region_lines(
+    spec: OpSpec, config: GPUConfig, total_accesses: int
+) -> int:
+    """How many lines the region of ``spec`` spans."""
+    if spec.pattern in ("random", "reuse") or spec.footprint is not None:
+        l2_lines = max(1, config.l2_size // config.line_size)
+        mult = spec.footprint if spec.footprint is not None else 1.0
+        return max(64, int(l2_lines * mult))
+    # Streamed/strided data is touched roughly once.
+    return max(64, total_accesses)
+
+
+def _phase(spec) -> int:
+    return max(1, getattr(spec, "phase", 1))
+
+
+def _address_fn(
+    spec: OpSpec, op_index: int, config: GPUConfig,
+    total_warps: int, iterations: int, seed: int,
+):
+    region = spec.region if spec.region else op_index
+    base = (region + 1) * REGION_STRIDE
+    phase = _phase(spec)
+    total = total_warps * (iterations // phase + 1) * spec.fanout
+    n = _region_lines(spec, config, total)
+    salt = _mix(seed * 7919 + op_index)
+    if spec.pattern == "stream":
+        return _stream_fn(base, n, total_warps, spec.fanout, phase)
+    if spec.pattern == "stride":
+        return _stride_fn(base, n, total_warps, spec.fanout, phase)
+    if spec.pattern == "random":
+        return _random_fn(base, n, salt, spec.fanout)
+    if spec.pattern == "reuse":
+        return _reuse_fn(base, n, salt, spec.fanout)
+    raise ValueError(f"unknown access pattern {spec.pattern!r}")
+
+
+# ----------------------------------------------------------------------
+# Program construction
+# ----------------------------------------------------------------------
+def build_program(
+    app: AppProfile,
+    config: GPUConfig,
+    total_warps: int,
+    scale: TraceScale = TraceScale(),
+) -> Program:
+    """Expand the profile's body into a concrete instruction loop."""
+    iterations = max(1, round(app.iterations * scale.work))
+    body: list[Instr] = []
+    load_slot = 0
+    last_load_reg = 1
+    op_index = 0
+    for spec in app.body:
+        for _ in range(spec.count):
+            if spec.kind == "alu":
+                body.append(Instr(
+                    OpKind.ALU, latency=4,
+                    dst_mask=reg_mask(1), src_mask=reg_mask(last_load_reg),
+                    tag="alu",
+                ))
+            elif spec.kind == "heavy_alu":
+                body.append(Instr(
+                    OpKind.ALU, latency=12,
+                    dst_mask=reg_mask(2), src_mask=reg_mask(1),
+                    tag="heavy_alu",
+                ))
+            elif spec.kind == "sfu":
+                body.append(Instr(
+                    OpKind.SFU, latency=20,
+                    dst_mask=reg_mask(2), src_mask=reg_mask(1),
+                    tag="sfu",
+                ))
+            elif spec.kind == "load":
+                reg = LOAD_REGS[load_slot % len(LOAD_REGS)]
+                load_slot += 1
+                last_load_reg = reg
+                body.append(Instr(
+                    OpKind.LOAD,
+                    dst_mask=reg_mask(reg), src_mask=reg_mask(0),
+                    space=MemSpace.GLOBAL,
+                    addr_fn=_address_fn(
+                        spec, op_index, config, total_warps, iterations,
+                        app.seed,
+                    ),
+                    tag=f"load{op_index}",
+                ))
+                op_index += 1
+            elif spec.kind == "store":
+                body.append(Instr(
+                    OpKind.STORE, latency=1,
+                    src_mask=reg_mask(1),
+                    space=MemSpace.GLOBAL,
+                    addr_fn=_address_fn(
+                        spec, op_index, config, total_warps, iterations,
+                        app.seed,
+                    ),
+                    tag=f"store{op_index}",
+                ))
+                op_index += 1
+            elif spec.kind == "shared_load":
+                body.append(Instr(
+                    OpKind.LOAD,
+                    dst_mask=reg_mask(7), src_mask=reg_mask(1),
+                    space=MemSpace.SHARED,
+                    tag="shared_load",
+                ))
+            elif spec.kind == "sync":
+                body.append(sync())
+            else:
+                raise ValueError(f"unknown op kind {spec.kind!r}")
+    return Program(body=tuple(body), iterations=iterations, name=app.name)
+
+
+def build_kernel(
+    app: AppProfile,
+    config: GPUConfig,
+    scale: TraceScale = TraceScale(),
+) -> Kernel:
+    """Build the kernel launch for ``app`` on ``config``.
+
+    The grid is sized to ``app.waves`` full-machine waves of thread
+    blocks, using the plain-kernel occupancy (assist-warp register
+    pressure may later reduce the resident blocks — that effect is part
+    of what the simulation measures, not of the grid size).
+    """
+    threads_per_block = app.warps_per_block * config.warp_size
+    regs_per_block = app.regs_per_thread * threads_per_block
+    limits = [
+        config.max_threads_per_sm // threads_per_block,
+        config.max_blocks_per_sm,
+        config.warps_per_sm // app.warps_per_block,
+        config.registers_per_sm // regs_per_block,
+    ]
+    if app.smem_per_block:
+        limits.append(config.smem_per_sm // app.smem_per_block)
+    blocks_per_sm = max(1, min(limits))
+
+    waves = scale.waves if scale.waves is not None else app.waves
+    n_blocks = max(1, math.ceil(waves * config.n_sms * blocks_per_sm))
+    total_warps = n_blocks * app.warps_per_block
+    program = build_program(app, config, total_warps, scale)
+    return Kernel(
+        name=app.name,
+        program=program,
+        n_blocks=n_blocks,
+        warps_per_block=app.warps_per_block,
+        regs_per_thread=app.regs_per_thread,
+        smem_per_block=app.smem_per_block,
+        warp_size=config.warp_size,
+    )

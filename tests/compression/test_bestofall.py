@@ -1,0 +1,91 @@
+"""Unit tests for the BestOfAll per-line oracle selector."""
+
+import pytest
+
+from repro.compression import (
+    BdiCompressor,
+    BestOfAllCompressor,
+    CompressionError,
+    CPackCompressor,
+    FpcCompressor,
+)
+
+
+class TestSelection:
+    def test_picks_minimum_size(self):
+        best = BestOfAllCompressor(line_size=64)
+        data = bytes(64)
+        line = best.compress(data)
+        sizes = [c.compress(data).size_bytes for c in best.components]
+        assert line.size_bytes == min(sizes)
+
+    def test_encoding_names_winner(self):
+        best = BestOfAllCompressor(line_size=64)
+        line = best.compress(bytes(64))
+        assert line.encoding.split(":")[0] in ("bdi", "fpc", "cpack")
+
+    def test_bdi_wins_on_low_dynamic_range(self):
+        base = 0x11223344556600
+        data = b"".join((base + i).to_bytes(8, "little") for i in range(8))
+        best = BestOfAllCompressor(line_size=64)
+        line = best.compress(data)
+        assert line.encoding.startswith("bdi:")
+
+    def test_never_worse_than_any_component(self):
+        import random
+
+        rng = random.Random(42)
+        best = BestOfAllCompressor(line_size=64)
+        for _ in range(25):
+            data = bytes(rng.getrandbits(8) >> rng.choice([0, 0, 4, 6])
+                         for _ in range(64))
+            line = best.compress(data)
+            for component in best.components:
+                assert line.size_bytes <= component.compress(data).size_bytes
+
+    def test_round_trip(self):
+        import random
+
+        rng = random.Random(17)
+        best = BestOfAllCompressor(line_size=128)
+        for _ in range(25):
+            data = bytes(rng.getrandbits(8) >> rng.choice([0, 4, 7])
+                         for _ in range(128))
+            assert best.decompress(best.compress(data)) == data
+
+
+class TestValidation:
+    def test_component_line_size_mismatch(self):
+        with pytest.raises(CompressionError):
+            BestOfAllCompressor(
+                line_size=64, components=[BdiCompressor(line_size=128)]
+            )
+
+    def test_empty_components(self):
+        with pytest.raises(CompressionError):
+            BestOfAllCompressor(line_size=64, components=[])
+
+    def test_custom_component_subset(self):
+        best = BestOfAllCompressor(
+            line_size=64,
+            components=[FpcCompressor(64), CPackCompressor(64)],
+        )
+        line = best.compress(bytes(64))
+        assert line.encoding.split(":")[0] in ("fpc", "cpack")
+
+
+class TestIncompressibleLines:
+    def test_uncompressed_result_uses_plain_encoding(self):
+        """Regression: incompressible lines must not carry a component
+        prefix ('bdi:uncompressed'); the memory system keys compression
+        state off the plain 'uncompressed' tag."""
+        import random
+
+        rng = random.Random(99)
+        data = bytes(rng.getrandbits(8) for _ in range(64))
+        best = BestOfAllCompressor(line_size=64)
+        line = best.compress(data)
+        if line.size_bytes == 64:
+            assert line.encoding == "uncompressed"
+            assert not line.is_compressed
+        assert best.decompress(line) == data

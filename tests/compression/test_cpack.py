@@ -1,0 +1,98 @@
+"""Unit tests for C-Pack dictionary compression."""
+
+import random
+
+import pytest
+
+from repro.compression import CompressionError, CPackCompressor
+from repro.compression.cpack import DICTIONARY_ENTRIES, _PATTERN_BITS
+
+
+def words_to_line(words, line_size=64):
+    data = b"".join((w & 0xFFFFFFFF).to_bytes(4, "little") for w in words)
+    assert len(data) == line_size
+    return data
+
+
+class TestPatterns:
+    def test_zero_line(self):
+        cpack = CPackCompressor(line_size=128)
+        line = cpack.compress(bytes(128))
+        # 32 words * 2 bits = 8 bytes.
+        assert line.size_bytes == 8
+        assert cpack.decompress(line) == bytes(128)
+
+    def test_full_dictionary_match(self):
+        cpack = CPackCompressor(line_size=64)
+        data = words_to_line([0xDEADBEEF] * 16)
+        line = cpack.compress(data)
+        patterns = [s.pattern for s in line.state]
+        assert patterns[0] == "xxxx"
+        assert all(p == "mmmm" for p in patterns[1:])
+        assert cpack.decompress(line) == data
+
+    def test_partial_match_high_three_bytes(self):
+        cpack = CPackCompressor(line_size=64)
+        words = [0xAABBCC00 + i for i in range(16)]
+        data = words_to_line(words)
+        line = cpack.compress(data)
+        patterns = [s.pattern for s in line.state]
+        assert patterns[0] == "xxxx"
+        assert all(p == "mmmx" for p in patterns[1:])
+        assert cpack.decompress(line) == data
+
+    def test_partial_match_high_two_bytes(self):
+        cpack = CPackCompressor(line_size=64)
+        words = [0xAABB0000 + i * 0x1234 for i in range(1, 17)]
+        data = words_to_line(words)
+        line = cpack.compress(data)
+        assert any(s.pattern == "mmxx" for s in line.state)
+        assert cpack.decompress(line) == data
+
+    def test_zzzx_single_byte_words(self):
+        cpack = CPackCompressor(line_size=64)
+        data = words_to_line(list(range(1, 17)))
+        line = cpack.compress(data)
+        assert all(s.pattern == "zzzx" for s in line.state)
+        assert cpack.decompress(line) == data
+
+    def test_dictionary_is_fifo_bounded(self):
+        cpack = CPackCompressor(line_size=128)
+        # 32 distinct verbatim words overflow the 16-entry dictionary.
+        words = [(i + 1) * 0x01010000 + 0xAB for i in range(32)]
+        data = words_to_line(words, line_size=128)
+        line = cpack.compress(data)
+        assert cpack.decompress(line) == data
+        assert DICTIONARY_ENTRIES == 16
+
+
+class TestSizeAccounting:
+    def test_pattern_bit_widths_match_original_paper(self):
+        assert _PATTERN_BITS == {
+            "zzzz": 2,
+            "xxxx": 34,
+            "mmmm": 6,
+            "mmxx": 24,
+            "mmmx": 16,
+            "zzzx": 12,
+        }
+
+    def test_all_verbatim_line_falls_back_uncompressed(self):
+        rng = random.Random(5)
+        words = [rng.getrandbits(32) | 0x80808080 for _ in range(16)]
+        # Ensure no two words share their high bytes.
+        words = [(0x10 + 7 * i) << 24 | (0x30 + 5 * i) << 16
+                 | rng.getrandbits(16) | 0x0101 for i in range(16)]
+        cpack = CPackCompressor(line_size=64)
+        data = words_to_line(words)
+        line = cpack.compress(data)
+        # 16 * 34 bits = 68 bytes > 64 -> uncompressed passthrough.
+        assert line.encoding == "uncompressed"
+        assert line.size_bytes == 64
+        assert cpack.decompress(line) == data
+
+
+class TestValidation:
+    def test_wrong_size_rejected(self):
+        with pytest.raises(CompressionError):
+            CPackCompressor(line_size=64).compress(bytes(63))

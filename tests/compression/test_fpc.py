@@ -1,0 +1,121 @@
+"""Unit tests for Frequent Pattern Compression."""
+
+import pytest
+
+from repro.compression import CompressionError, FpcCompressor
+from repro.compression.fpc import FPC_REDUCED_PATTERNS, MAX_ZERO_RUN
+
+
+def words_to_line(words, line_size=64):
+    data = b"".join((w & 0xFFFFFFFF).to_bytes(4, "little") for w in words)
+    assert len(data) == line_size
+    return data
+
+
+class TestPatterns:
+    def test_zero_line_is_tiny(self):
+        fpc = FpcCompressor(line_size=128)
+        line = fpc.compress(bytes(128))
+        # 32 zero words -> 4 max-length runs of 8 -> 4 * 6 bits = 3 bytes.
+        assert line.size_bytes == 3
+        assert fpc.decompress(line) == bytes(128)
+
+    def test_zero_run_capped(self):
+        fpc = FpcCompressor(line_size=64)
+        line = fpc.compress(bytes(64))
+        runs = [s for s in line.state if s.pattern.name == "zero_run"]
+        assert all(s.payload <= MAX_ZERO_RUN for s in runs)
+        assert sum(s.payload for s in runs) == 16
+
+    def test_small_signed_values(self):
+        fpc = FpcCompressor(line_size=64)
+        data = words_to_line([1, -1, 7, -8] * 4)
+        line = fpc.compress(data)
+        assert all(s.pattern.name == "signed_4bit" for s in line.state)
+        assert fpc.decompress(line) == data
+
+    def test_byte_values(self):
+        fpc = FpcCompressor(line_size=64)
+        data = words_to_line([100, -100, 127, -128] * 4)
+        line = fpc.compress(data)
+        assert all(s.pattern.name == "signed_1byte" for s in line.state)
+        assert fpc.decompress(line) == data
+
+    def test_halfword_values(self):
+        fpc = FpcCompressor(line_size=64)
+        data = words_to_line([30000, -30000, 1000, -1000] * 4)
+        line = fpc.compress(data)
+        assert all(s.pattern.name == "signed_halfword" for s in line.state)
+        assert fpc.decompress(line) == data
+
+    def test_zero_padded_halfword(self):
+        fpc = FpcCompressor(line_size=64)
+        data = words_to_line([0x7FFF0000, 0x12340000] * 8)
+        line = fpc.compress(data)
+        assert all(s.pattern.name == "zero_padded_halfword" for s in line.state)
+        assert fpc.decompress(line) == data
+
+    def test_two_signed_bytes(self):
+        fpc = FpcCompressor(line_size=64)
+        # Each halfword is a sign-extended byte: 0x0042 and 0xFF80.
+        data = words_to_line([0xFF800042] * 16)
+        line = fpc.compress(data)
+        assert all(s.pattern.name == "two_signed_bytes" for s in line.state)
+        assert fpc.decompress(line) == data
+
+    def test_repeated_bytes(self):
+        fpc = FpcCompressor(line_size=64)
+        data = words_to_line([0xABABABAB] * 16)
+        line = fpc.compress(data)
+        assert all(s.pattern.name == "repeated_bytes" for s in line.state)
+        assert fpc.decompress(line) == data
+
+    def test_incompressible_words_stay_verbatim(self):
+        import random
+
+        rng = random.Random(3)
+        words = [rng.getrandbits(32) | 0x01020304 for _ in range(16)]
+        # Force words outside every pattern by giving distinct high bytes.
+        words = [(i + 9) << 24 | 0x654321 for i in range(16)]
+        fpc = FpcCompressor(line_size=64)
+        data = words_to_line(words)
+        line = fpc.compress(data)
+        assert fpc.decompress(line) == data
+
+
+class TestSizeAccounting:
+    def test_size_is_bits_rounded_up(self):
+        fpc = FpcCompressor(line_size=64)
+        data = words_to_line([1] * 16)  # 16 signed_4bit symbols
+        line = fpc.compress(data)
+        assert line.size_bytes == -(-16 * (3 + 4) // 8)
+
+    def test_incompressible_line_reports_full_size(self):
+        import random
+
+        rng = random.Random(11)
+        data = bytes(rng.getrandbits(8) | 0x80 for _ in range(64))
+        fpc = FpcCompressor(line_size=64)
+        line = fpc.compress(data)
+        assert line.size_bytes <= 64
+        assert fpc.decompress(line) == data
+
+
+class TestReducedPatternSet:
+    def test_reduced_set_still_round_trips(self):
+        fpc = FpcCompressor(line_size=64, patterns=FPC_REDUCED_PATTERNS)
+        data = words_to_line([0, 5, 300, 0x7FFF0000, 0xABABABAB] * 3 + [9])
+        line = fpc.compress(data)
+        assert fpc.decompress(line) == data
+
+    def test_reduced_set_never_beats_full_set(self):
+        full = FpcCompressor(line_size=64)
+        reduced = FpcCompressor(line_size=64, patterns=FPC_REDUCED_PATTERNS)
+        data = words_to_line([1, -2, 0x00340000, 0, 0, 0, 7, -8] * 2)
+        assert reduced.compress(data).size_bytes >= full.compress(data).size_bytes
+
+
+class TestValidation:
+    def test_wrong_size_rejected(self):
+        with pytest.raises(CompressionError):
+            FpcCompressor(line_size=64).compress(bytes(32))

@@ -1,0 +1,84 @@
+"""Unit tests for Frequent Value Compression."""
+
+import pytest
+
+from repro.compression import CompressionError, FvcCompressor
+from repro.compression.fvc import DEFAULT_TABLE
+
+
+def words_to_line(words, line_size=64):
+    data = b"".join((w & 0xFFFFFFFF).to_bytes(4, "little") for w in words)
+    assert len(data) == line_size
+    return data
+
+
+class TestDefaultTable:
+    def test_frequent_values_compress_hard(self):
+        fvc = FvcCompressor(line_size=64)
+        data = words_to_line([0, 1, 0xFFFFFFFF, 0] * 4)
+        line = fvc.compress(data)
+        # 16 words * (1 + 3) bits = 8 bytes.
+        assert line.size_bytes == 8
+        assert fvc.decompress(line) == data
+
+    def test_infrequent_values_stay_verbatim(self):
+        fvc = FvcCompressor(line_size=64)
+        data = words_to_line([0xDEADBEE0 + i for i in range(16)])
+        line = fvc.compress(data)
+        # 16 * 33 bits = 66 bytes > 64 -> passthrough.
+        assert line.encoding == "uncompressed"
+        assert fvc.decompress(line) == data
+
+    def test_mixed_line(self):
+        fvc = FvcCompressor(line_size=64)
+        data = words_to_line([0, 0xDEADBEEF] * 8)
+        line = fvc.compress(data)
+        assert line.is_compressed
+        assert fvc.decompress(line) == data
+
+    def test_index_width_tracks_table_size(self):
+        assert FvcCompressor(table=[0, 1]).index_bits == 1
+        assert FvcCompressor(table=list(range(8))).index_bits == 3
+        assert FvcCompressor(table=list(range(16))).index_bits == 4
+
+
+class TestTraining:
+    def test_trained_table_captures_hot_values(self):
+        fvc = FvcCompressor(line_size=64)
+        hot = 0xCAFEBABE
+        sample = [words_to_line([hot] * 16) for _ in range(4)]
+        trained = fvc.train(sample)
+        assert hot in trained.table
+        line = trained.compress(words_to_line([hot] * 16))
+        assert line.size_bytes <= 8
+        assert trained.decompress(line) == words_to_line([hot] * 16)
+
+    def test_training_beats_default_on_skewed_data(self):
+        fvc = FvcCompressor(line_size=64)
+        words = [0x11110000 + (i % 4) for i in range(16)]
+        data = words_to_line(words)
+        trained = fvc.train([data])
+        assert trained.compress(data).size_bytes < fvc.compress(data).size_bytes
+
+    def test_training_pads_small_vocabularies(self):
+        fvc = FvcCompressor(line_size=64)
+        trained = fvc.train([words_to_line([7] * 16)])
+        assert len(trained.table) == len(fvc.table)
+        assert len(set(trained.table)) == len(trained.table)
+
+    def test_training_validates_line_size(self):
+        with pytest.raises(CompressionError):
+            FvcCompressor(line_size=64).train([bytes(32)])
+
+
+class TestValidation:
+    def test_empty_table_rejected(self):
+        with pytest.raises(CompressionError):
+            FvcCompressor(table=[])
+
+    def test_duplicate_table_rejected(self):
+        with pytest.raises(CompressionError):
+            FvcCompressor(table=[1, 1])
+
+    def test_default_table_is_distinct(self):
+        assert len(set(DEFAULT_TABLE)) == len(DEFAULT_TABLE)

@@ -1,0 +1,59 @@
+"""Unit tests for the Assist Warp Store."""
+
+import pytest
+
+from repro.core.aws import AssistWarpStore, AwsCapacityError
+from repro.core.subroutines import bdi_compress, bdi_decompress
+
+
+class TestRegistration:
+    def test_register_and_lookup(self):
+        aws = AssistWarpStore()
+        sr_id = aws.register("decompress", "B8D1", bdi_decompress("B8D1"))
+        stored = aws.lookup("decompress", "B8D1")
+        assert stored.sr_id == sr_id
+        assert stored.program.name == "bdi_dec_B8D1"
+
+    def test_reregistration_is_idempotent(self):
+        aws = AssistWarpStore()
+        first = aws.register("compress", "bdi", bdi_compress())
+        second = aws.register("compress", "bdi", bdi_compress())
+        assert first == second
+        assert aws.subroutine_count == 1
+
+    def test_distinct_sr_ids(self):
+        aws = AssistWarpStore()
+        a = aws.register("decompress", "B8D1", bdi_decompress("B8D1"))
+        b = aws.register("decompress", "ZEROS", bdi_decompress("ZEROS"))
+        assert a != b
+
+    def test_missing_lookup(self):
+        with pytest.raises(KeyError):
+            AssistWarpStore().lookup("decompress", "B8D1")
+
+    def test_contains(self):
+        aws = AssistWarpStore()
+        assert not aws.contains("compress", "bdi")
+        aws.register("compress", "bdi", bdi_compress())
+        assert aws.contains("compress", "bdi")
+
+
+class TestCapacity:
+    def test_subroutine_count_limit(self):
+        aws = AssistWarpStore(max_subroutines=2)
+        aws.register("a", "1", bdi_decompress("ZEROS"))
+        aws.register("a", "2", bdi_decompress("REPEAT"))
+        with pytest.raises(AwsCapacityError):
+            aws.register("a", "3", bdi_decompress("B8D1"))
+
+    def test_instruction_storage_limit(self):
+        aws = AssistWarpStore(max_instructions=5)
+        aws.register("a", "1", bdi_decompress("ZEROS"))  # 3 instrs
+        with pytest.raises(AwsCapacityError):
+            aws.register("a", "2", bdi_decompress("REPEAT"))  # 4 more
+
+    def test_instruction_accounting(self):
+        aws = AssistWarpStore()
+        program = bdi_decompress("ZEROS")
+        aws.register("a", "1", program)
+        assert aws.instructions_used == len(program)

@@ -1,0 +1,40 @@
+"""Contract tests for the AssistController base class."""
+
+import pytest
+
+from repro.core.base import AssistController
+
+
+class _Dummy(AssistController):
+    pass
+
+
+class TestDefaults:
+    def setup_method(self):
+        self.controller = _Dummy(sm=None)
+
+    def test_no_work_by_default(self):
+        assert not self.controller.has_pending_work()
+        assert not self.controller.issue_high(0, 0)
+        assert not self.controller.issue_low(0, 0)
+
+    def test_tick_and_observe_are_noops(self):
+        self.controller.tick(0)
+        self.controller.observe(1, 2)
+        self.controller.flush(0)
+        self.controller.finish(None)
+
+    def test_pending_decompression_false(self):
+        assert not self.controller.pending_decompression(5)
+
+    def test_unhandled_triggers_raise(self):
+        with pytest.raises(NotImplementedError):
+            self.controller.request_decompression(None, None, None, 0)
+        with pytest.raises(NotImplementedError):
+            self.controller.buffer_store(None, [], True, 0)
+        with pytest.raises(NotImplementedError):
+            self.controller.attach_to_decompression(0, None)
+
+    def test_observation_hooks_are_noops(self):
+        self.controller.on_global_load(None, [1], 0)
+        self.controller.on_memo_point(None, 4, 0)

@@ -1,0 +1,38 @@
+"""Validation tests for CABA framework parameters."""
+
+import pytest
+
+from repro.core.params import CabaParams
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        params = CabaParams()
+        assert params.deploy_width == 2
+        assert params.low_priority_slots == 2
+        assert params.decompression_high_priority
+        assert params.throttling_enabled
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"awt_capacity": 0},
+            {"deploy_width": 0},
+            {"low_priority_slots": 0},
+            {"store_buffer_lines": 0},
+            {"throttle_threshold": 0.0},
+            {"throttle_threshold": 1.5},
+            {"utilization_ema_alpha": 0.0},
+            {"utilization_ema_alpha": 2.0},
+        ],
+    )
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            CabaParams(**kwargs)
+
+    def test_frozen(self):
+        params = CabaParams()
+        with pytest.raises(Exception):
+            params.deploy_width = 4

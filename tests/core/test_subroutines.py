@@ -1,0 +1,115 @@
+"""Unit tests for assist-warp subroutine generation."""
+
+import pytest
+
+from repro.core.subroutines import (
+    REGISTER_DEMAND,
+    SubroutineLibrary,
+    bdi_compress,
+    bdi_decompress,
+    cpack_compress,
+    cpack_decompress,
+    fpc_compress,
+    fpc_decompress,
+)
+from repro.gpu.isa import ASSIST_REG_BASE, MemSpace, OpKind
+
+
+def uses_only_expected_spaces(program):
+    return all(
+        instr.space in (MemSpace.LOCAL_L1, MemSpace.SHARED)
+        for instr in program.body
+        if instr.kind in (OpKind.LOAD, OpKind.STORE)
+    )
+
+
+def writes_assist_registers_only(program):
+    limit_mask = (1 << ASSIST_REG_BASE) - 1
+    return all(
+        instr.dst_mask & limit_mask == 0 for instr in program.body
+    )
+
+
+ALL_BUILDERS = [
+    ("bdi_dec", lambda: bdi_decompress("B8D1")),
+    ("bdi_dec_zeros", lambda: bdi_decompress("ZEROS")),
+    ("bdi_dec_repeat", lambda: bdi_decompress("REPEAT")),
+    ("bdi_comp", bdi_compress),
+    ("fpc_dec", fpc_decompress),
+    ("fpc_comp", fpc_compress),
+    ("cpack_dec", cpack_decompress),
+    ("cpack_comp", cpack_compress),
+]
+
+
+@pytest.mark.parametrize("name,builder", ALL_BUILDERS)
+class TestAllSubroutines:
+    def test_nonempty(self, name, builder):
+        assert len(builder()) >= 2
+
+    def test_memory_ops_stay_on_chip(self, name, builder):
+        assert uses_only_expected_spaces(builder())
+
+    def test_no_parent_register_writes(self, name, builder):
+        """Assist warps may read parent registers (live-ins) but write
+        only their own provisioned slots."""
+        assert writes_assist_registers_only(builder())
+
+    def test_no_barriers(self, name, builder):
+        assert all(i.kind is not OpKind.SYNC for i in builder().body)
+
+
+class TestRelativeLengths:
+    def test_bdi_decompression_is_shortest(self):
+        """BDI's masked vector add maps best onto SIMT (Section 4.1.2);
+        FPC's serial parse is the longest (Section 6.3)."""
+        bdi = len(bdi_decompress("B8D1"))
+        cpack = len(cpack_decompress())
+        fpc = len(fpc_decompress())
+        assert bdi < cpack < fpc
+
+    def test_zeros_shorter_than_general(self):
+        assert len(bdi_decompress("ZEROS")) < len(bdi_decompress("B8D1"))
+
+    def test_wider_word_count_means_more_passes(self):
+        narrow = bdi_decompress("B8D1", line_size=128)  # 16 words, 1 pass
+        wide = bdi_decompress("B2D1", line_size=128)  # 64 words, 2 passes
+        assert len(wide) > len(narrow)
+
+    def test_compression_longer_than_decompression(self):
+        assert len(bdi_compress()) > len(bdi_decompress("B8D1"))
+
+
+class TestLibrary:
+    def test_caches_programs(self):
+        lib = SubroutineLibrary()
+        assert lib.decompression("bdi", "B8D1") is lib.decompression(
+            "bdi", "B8D1"
+        )
+
+    def test_dispatch_per_algorithm(self):
+        lib = SubroutineLibrary()
+        assert lib.decompression("fpc", "fpc").name == "fpc_dec"
+        assert lib.decompression("cpack", "cpack").name == "cpack_dec"
+        assert lib.compression("bdi").name == "bdi_comp"
+
+    def test_bestofall_dispatches_on_encoding_prefix(self):
+        lib = SubroutineLibrary()
+        program = lib.decompression("bestofall", "bdi:B8D1")
+        assert program.name == "bdi_dec_B8D1"
+        program = lib.decompression("bestofall", "cpack:cpack")
+        assert program.name == "cpack_dec"
+
+    def test_register_demand(self):
+        lib = SubroutineLibrary()
+        for algo, demand in REGISTER_DEMAND.items():
+            assert lib.register_demand(algo) == demand
+
+    def test_unknown_algorithm(self):
+        lib = SubroutineLibrary()
+        with pytest.raises(ValueError):
+            lib.register_demand("zip")
+        with pytest.raises(ValueError):
+            lib.decompression("zip", "x")
+        with pytest.raises(ValueError):
+            lib.compression("zip")

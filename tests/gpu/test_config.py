@@ -1,0 +1,86 @@
+"""Unit tests for the machine configuration (Table 1)."""
+
+import pytest
+
+from repro.gpu.config import DramTiming, GPUConfig
+
+
+class TestTable1Defaults:
+    def test_core_organization(self):
+        cfg = GPUConfig()
+        assert cfg.n_sms == 15
+        assert cfg.warps_per_sm == 48
+        assert cfg.registers_per_sm == 32768
+        assert cfg.schedulers_per_sm == 2
+        assert cfg.scheduler == "gto"
+        assert cfg.core_clock_ghz == 1.4
+
+    def test_memory_system(self):
+        cfg = GPUConfig()
+        assert cfg.n_mcs == 6
+        assert cfg.banks_per_mc == 16
+        assert cfg.dram_bw_gbps == 177.4
+
+    def test_caches(self):
+        cfg = GPUConfig()
+        assert cfg.l1_size == 16 * 1024 and cfg.l1_assoc == 4
+        assert cfg.l2_size == 768 * 1024 and cfg.l2_assoc == 16
+
+    def test_gddr5_timing(self):
+        t = DramTiming()
+        assert (t.tCL, t.tRP, t.tRC, t.tRAS) == (12, 12, 40, 28)
+        assert (t.tRCD, t.tRRD, t.tCDLR, t.tWR) == (12, 6, 5, 12)
+
+    def test_row_latencies(self):
+        t = DramTiming()
+        assert t.row_hit_latency == 12
+        assert t.row_miss_latency == 36
+        assert t.row_empty_latency == 24
+
+
+class TestDerived:
+    def test_bytes_per_cycle(self):
+        cfg = GPUConfig()
+        assert cfg.bytes_per_cycle_per_mc == pytest.approx(
+            177.4 / 1.4 / 6, rel=1e-6
+        )
+
+    def test_burst_cycles(self):
+        cfg = GPUConfig()
+        assert cfg.burst_cycles == pytest.approx(32 / (177.4 / 1.4 / 6))
+
+    def test_bursts_per_line(self):
+        assert GPUConfig().bursts_per_line == 4
+
+    def test_l1_sets(self):
+        assert GPUConfig().l1_sets == 16 * 1024 // (128 * 4)
+
+    def test_l2_sets_per_mc(self):
+        cfg = GPUConfig()
+        assert cfg.l2_sets_per_mc == (768 * 1024 // 6) // (128 * 16)
+
+
+class TestVariants:
+    def test_bandwidth_scaling(self):
+        cfg = GPUConfig().with_bandwidth_scale(2.0)
+        assert cfg.dram_bw_gbps == pytest.approx(354.8)
+        assert cfg.burst_cycles == pytest.approx(GPUConfig().burst_cycles / 2)
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            GPUConfig().with_bandwidth_scale(0)
+
+    def test_small_preserves_sm_mc_pressure(self):
+        """The scaled machine must keep at least the full config's
+        SM-to-channel demand ratio so memory-bound apps stay bound."""
+        full, small = GPUConfig(), GPUConfig.small()
+        assert small.n_sms / small.n_mcs >= full.n_sms / full.n_mcs
+        assert small.bytes_per_cycle_per_mc == pytest.approx(
+            full.bytes_per_cycle_per_mc
+        )
+
+    def test_medium_is_between(self):
+        small, medium, full = (
+            GPUConfig.small(), GPUConfig.medium(), GPUConfig()
+        )
+        assert small.n_sms < medium.n_sms < full.n_sms

@@ -1,0 +1,56 @@
+"""Unit tests for kernel launch descriptions."""
+
+import pytest
+
+from repro.gpu.isa import Program, alu
+from repro.gpu.kernel import Kernel
+
+
+def make(**kwargs):
+    defaults = dict(
+        name="k",
+        program=Program(body=(alu(),), iterations=1),
+        n_blocks=4,
+        warps_per_block=8,
+        regs_per_thread=16,
+    )
+    defaults.update(kwargs)
+    return Kernel(**defaults)
+
+
+class TestDerived:
+    def test_threads_per_block(self):
+        assert make().threads_per_block == 256
+
+    def test_total_warps(self):
+        assert make().total_warps == 32
+
+    def test_regs_per_block(self):
+        assert make().regs_per_block == 16 * 256
+
+    def test_warp_linear_index_unique(self):
+        kernel = make()
+        seen = {
+            kernel.warp_linear_index(b, w)
+            for b in range(kernel.n_blocks)
+            for w in range(kernel.warps_per_block)
+        }
+        assert len(seen) == kernel.total_warps
+
+
+class TestValidation:
+    def test_needs_blocks(self):
+        with pytest.raises(ValueError):
+            make(n_blocks=0)
+
+    def test_needs_warps(self):
+        with pytest.raises(ValueError):
+            make(warps_per_block=0)
+
+    def test_needs_registers(self):
+        with pytest.raises(ValueError):
+            make(regs_per_thread=0)
+
+    def test_no_negative_smem(self):
+        with pytest.raises(ValueError):
+            make(smem_per_block=-1)

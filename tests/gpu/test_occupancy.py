@@ -1,0 +1,89 @@
+"""Unit tests for static occupancy / register allocation (Figure 2)."""
+
+import pytest
+
+from repro.gpu.config import GPUConfig
+from repro.gpu.isa import Program, alu
+from repro.gpu.kernel import Kernel
+from repro.gpu.occupancy import OccupancyError, compute_occupancy
+
+
+def kernel(warps=8, regs=16, smem=0):
+    return Kernel(
+        name="k",
+        program=Program(body=(alu(),), iterations=1),
+        n_blocks=8,
+        warps_per_block=warps,
+        regs_per_thread=regs,
+        smem_per_block=smem,
+    )
+
+
+class TestLimits:
+    def test_thread_limit(self):
+        occ = compute_occupancy(GPUConfig(), kernel(warps=8, regs=8))
+        # 1536 threads / 256 per block = 6 blocks.
+        assert occ.blocks_per_sm == 6
+        assert occ.limiting_factor == "threads"
+
+    def test_block_limit(self):
+        occ = compute_occupancy(GPUConfig(), kernel(warps=4, regs=8))
+        # 1536/128 = 12 > 8 hard block limit.
+        assert occ.blocks_per_sm == 8
+        assert occ.limiting_factor == "blocks"
+
+    def test_register_limit(self):
+        occ = compute_occupancy(GPUConfig(), kernel(warps=8, regs=40))
+        # 32768 / (40*256) = 3.2 -> 3 blocks.
+        assert occ.blocks_per_sm == 3
+        assert occ.limiting_factor == "registers"
+
+    def test_shared_memory_limit(self):
+        occ = compute_occupancy(
+            GPUConfig(), kernel(warps=4, regs=8, smem=16 * 1024)
+        )
+        assert occ.blocks_per_sm == 2
+        assert occ.limiting_factor == "shared_memory"
+
+    def test_unschedulable_kernel(self):
+        with pytest.raises(OccupancyError):
+            compute_occupancy(GPUConfig(), kernel(warps=8, regs=200))
+
+
+class TestUnallocatedRegisters:
+    def test_fraction_formula(self):
+        occ = compute_occupancy(GPUConfig(), kernel(warps=8, regs=16))
+        expected = 1 - (6 * 16 * 256) / 32768
+        assert occ.unallocated_register_fraction == pytest.approx(expected)
+
+    def test_full_allocation(self):
+        occ = compute_occupancy(GPUConfig(), kernel(warps=8, regs=8))
+        # 6 blocks * 2048 regs = 12288 of 32768.
+        assert 0 < occ.unallocated_register_fraction < 1
+
+
+class TestAssistRegisterPressure:
+    def test_assist_registers_added_to_block_demand(self):
+        base = compute_occupancy(GPUConfig(), kernel(warps=8, regs=20))
+        with_assist = compute_occupancy(
+            GPUConfig(), kernel(warps=8, regs=20), assist_regs_per_thread=8
+        )
+        assert with_assist.allocated_registers >= base.allocated_registers \
+            or with_assist.blocks_per_sm < base.blocks_per_sm
+
+    def test_heavy_assist_demand_reduces_occupancy(self):
+        # 21 regs -> 6 blocks; 21+8 -> 32768/(29*256) = 4 blocks.
+        base = compute_occupancy(GPUConfig(), kernel(warps=8, regs=21))
+        pressured = compute_occupancy(
+            GPUConfig(), kernel(warps=8, regs=21), assist_regs_per_thread=8
+        )
+        assert pressured.blocks_per_sm < base.blocks_per_sm
+
+    def test_unallocated_headroom_absorbs_small_demand(self):
+        """The paper's point: modest assist-warp register demand fits in
+        the statically unallocated register space."""
+        base = compute_occupancy(GPUConfig(), kernel(warps=8, regs=15))
+        small = compute_occupancy(
+            GPUConfig(), kernel(warps=8, regs=15), assist_regs_per_thread=4
+        )
+        assert small.blocks_per_sm == base.blocks_per_sm

@@ -1,0 +1,134 @@
+"""Integration tests for the top-level simulator."""
+
+import pytest
+
+from repro import design as designs
+from repro.gpu.config import GPUConfig
+from repro.gpu.isa import Instr, MemSpace, OpKind, Program, reg_mask
+from repro.gpu.kernel import Kernel
+from repro.gpu.simulator import Simulator
+from repro.gpu.stats import Slot
+from repro.memory.image import MemoryImage
+
+
+def plain_image(config):
+    return MemoryImage(
+        lambda line: bytes(config.line_size), None, config.line_size
+    )
+
+
+def alu_i(dst=1, src=0, latency=4):
+    return Instr(OpKind.ALU, latency=latency, dst_mask=reg_mask(dst),
+                 src_mask=reg_mask(src))
+
+
+def make_kernel(body, iterations=4, n_blocks=4, warps_per_block=2, regs=16):
+    return Kernel(
+        name="test",
+        program=Program(body=tuple(body), iterations=iterations),
+        n_blocks=n_blocks,
+        warps_per_block=warps_per_block,
+        regs_per_thread=regs,
+    )
+
+
+def run(kernel, config=None, design=None):
+    config = config or GPUConfig.small()
+    design = design or designs.base()
+    sim = Simulator(config, kernel, design, plain_image(config))
+    return sim.run()
+
+
+class TestCompletion:
+    def test_all_instructions_execute(self):
+        kernel = make_kernel([alu_i(dst=1), alu_i(dst=2)], iterations=3)
+        result = run(kernel)
+        expected = kernel.n_blocks * kernel.warps_per_block * 2 * 3
+        assert result.stats.parent_instructions == expected
+        assert not result.truncated
+
+    def test_memory_kernel_completes(self):
+        body = [
+            Instr(OpKind.LOAD, dst_mask=reg_mask(3), src_mask=reg_mask(0),
+                  space=MemSpace.GLOBAL,
+                  addr_fn=lambda w, i: (1000 + w * 64 + i,)),
+            alu_i(dst=1, src=3),
+        ]
+        result = run(make_kernel(body, iterations=6))
+        expected = 4 * 2 * 2 * 6
+        assert result.stats.parent_instructions == expected
+        assert result.memory.stats.dram_reads > 0
+
+    def test_more_blocks_than_resident_capacity(self):
+        kernel = make_kernel([alu_i()], iterations=2, n_blocks=40)
+        result = run(kernel)
+        assert result.stats.parent_instructions == 40 * 2 * 1 * 2
+        blocks_done = sum(sm.blocks_finished for sm in result.stats.sms)
+        assert blocks_done == 40
+
+    def test_truncation_guard(self):
+        config = GPUConfig.small()
+        from dataclasses import replace
+
+        tiny = replace(config, max_cycles=10)
+        body = [
+            Instr(OpKind.LOAD, dst_mask=reg_mask(3), src_mask=reg_mask(0),
+                  space=MemSpace.GLOBAL, addr_fn=lambda w, i: (w + i,)),
+            alu_i(dst=1, src=3),
+        ]
+        result = run(make_kernel(body, iterations=50), config=tiny)
+        assert result.truncated
+
+
+class TestMetrics:
+    def test_ipc_bounded_by_issue_width(self):
+        kernel = make_kernel([alu_i(dst=1), alu_i(dst=2)], iterations=8,
+                             n_blocks=12, warps_per_block=4)
+        result = run(kernel)
+        assert 0 < result.ipc <= GPUConfig.small().schedulers_per_sm * 3
+
+    def test_slot_breakdown_sums_to_one(self):
+        kernel = make_kernel([alu_i(dst=1)], iterations=4)
+        result = run(kernel)
+        total = sum(result.stats.slot_breakdown().values())
+        assert total == pytest.approx(1.0)
+
+    def test_compute_kernel_shows_no_memory_stalls(self):
+        kernel = make_kernel([alu_i(dst=1), alu_i(dst=2)], iterations=8)
+        result = run(kernel)
+        breakdown = result.stats.slot_breakdown()
+        assert breakdown[Slot.MEMORY_STALL] == 0.0
+
+    def test_bandwidth_utilization_zero_without_memory(self):
+        kernel = make_kernel([alu_i(dst=1)], iterations=4)
+        result = run(kernel)
+        assert result.bandwidth_utilization() == 0.0
+
+
+class TestDeterminism:
+    def test_repeat_runs_identical(self):
+        body = [
+            Instr(OpKind.LOAD, dst_mask=reg_mask(3), src_mask=reg_mask(0),
+                  space=MemSpace.GLOBAL,
+                  addr_fn=lambda w, i: (1000 + (w * 37 + i * 11) % 500,)),
+            alu_i(dst=1, src=3),
+            alu_i(dst=2, src=1),
+        ]
+        first = run(make_kernel(body, iterations=5))
+        second = run(make_kernel(body, iterations=5))
+        assert first.cycles == second.cycles
+        assert first.stats.parent_instructions == \
+            second.stats.parent_instructions
+        assert first.memory.stats.dram_reads == second.memory.stats.dram_reads
+
+
+class TestCabaRequirement:
+    def test_caba_design_requires_factory(self):
+        config = GPUConfig.small()
+        with pytest.raises(ValueError):
+            Simulator(
+                config,
+                make_kernel([alu_i()]),
+                designs.caba(),
+                plain_image(config),
+            )

@@ -1,0 +1,94 @@
+"""Property-based fuzzing of the simulator with random programs.
+
+Generates random (but well-formed) warp programs and checks the
+system-level invariants: every run terminates, executes exactly the
+expected dynamic instruction count, and is deterministic.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import design as designs
+from repro.gpu.config import GPUConfig
+from repro.gpu.isa import Instr, MemSpace, OpKind, Program, reg_mask
+from repro.gpu.kernel import Kernel
+from repro.gpu.simulator import Simulator
+from repro.memory.image import MemoryImage
+
+
+def _instr(kind: str, salt: int) -> Instr:
+    if kind == "alu":
+        return Instr(OpKind.ALU, latency=4, dst_mask=reg_mask(1),
+                     src_mask=reg_mask(3))
+    if kind == "heavy":
+        return Instr(OpKind.ALU, latency=12, dst_mask=reg_mask(2),
+                     src_mask=reg_mask(1))
+    if kind == "sfu":
+        return Instr(OpKind.SFU, latency=20, dst_mask=reg_mask(2),
+                     src_mask=reg_mask(1))
+    if kind == "shared":
+        return Instr(OpKind.LOAD, dst_mask=reg_mask(7),
+                     src_mask=reg_mask(0), space=MemSpace.SHARED)
+    if kind == "load":
+        return Instr(
+            OpKind.LOAD, dst_mask=reg_mask(3), src_mask=reg_mask(0),
+            space=MemSpace.GLOBAL,
+            addr_fn=lambda w, i, s=salt: ((w * 37 + i * 11 + s) % 400,),
+        )
+    if kind == "store":
+        return Instr(
+            OpKind.STORE, latency=1, src_mask=reg_mask(1),
+            space=MemSpace.GLOBAL,
+            addr_fn=lambda w, i, s=salt: (1000 + (w * 13 + i * 7 + s) % 300,),
+        )
+    raise AssertionError(kind)
+
+
+bodies = st.lists(
+    st.sampled_from(["alu", "alu", "heavy", "sfu", "shared", "load",
+                     "store"]),
+    min_size=1,
+    max_size=8,
+)
+
+
+def run_program(kinds, iterations, design):
+    config = GPUConfig.small()
+    body = tuple(_instr(kind, salt=i) for i, kind in enumerate(kinds))
+    kernel = Kernel(
+        name="fuzz",
+        program=Program(body=body, iterations=iterations),
+        n_blocks=3,
+        warps_per_block=2,
+        regs_per_thread=16,
+    )
+    image = MemoryImage(lambda line: bytes(128), None, 128)
+    return Simulator(config, kernel, design, image).run()
+
+
+@settings(max_examples=15, deadline=None)
+@given(kinds=bodies, iterations=st.integers(min_value=1, max_value=4))
+def test_random_programs_terminate_and_conserve_work(kinds, iterations):
+    result = run_program(kinds, iterations, designs.base())
+    assert not result.truncated
+    expected = 3 * 2 * len(kinds) * iterations
+    assert result.stats.parent_instructions == expected
+
+
+@settings(max_examples=8, deadline=None)
+@given(kinds=bodies, iterations=st.integers(min_value=1, max_value=3))
+def test_random_programs_deterministic(kinds, iterations):
+    first = run_program(kinds, iterations, designs.base())
+    second = run_program(kinds, iterations, designs.base())
+    assert first.cycles == second.cycles
+    assert first.memory.stats.dram_reads == second.memory.stats.dram_reads
+
+
+@settings(max_examples=8, deadline=None)
+@given(kinds=bodies)
+def test_slot_accounting_complete(kinds):
+    """Every (cycle, scheduler) pair is classified exactly once."""
+    result = run_program(kinds, 2, designs.base())
+    config = GPUConfig.small()
+    for sm_stats in result.stats.sms:
+        assert sum(sm_stats.slots) == result.cycles * config.schedulers_per_sm

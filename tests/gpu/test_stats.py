@@ -1,0 +1,54 @@
+"""Unit tests for statistics aggregation."""
+
+import pytest
+
+from repro.gpu.stats import SLOT_LABELS, SimStats, Slot, SmStats
+
+
+class TestSmStats:
+    def test_instruction_totals(self):
+        sm = SmStats()
+        sm.parent_instructions = 10
+        sm.assist_instructions = 4
+        assert sm.instructions == 14
+
+
+class TestSimStats:
+    def make(self):
+        stats = SimStats(cycles=100)
+        for k in range(2):
+            sm = SmStats()
+            sm.parent_instructions = 50
+            sm.assist_instructions = 10
+            sm.slots[Slot.ACTIVE] = 60
+            sm.slots[Slot.MEMORY_STALL] = 80
+            sm.slots[Slot.IDLE] = 60
+            sm.alu_ops = 30
+            stats.sms.append(sm)
+        return stats
+
+    def test_ipc_counts_parent_work_only(self):
+        stats = self.make()
+        assert stats.ipc == pytest.approx(100 / 100)
+        assert stats.instructions == 120
+
+    def test_ipc_zero_cycles(self):
+        assert SimStats(cycles=0).ipc == 0.0
+
+    def test_slot_breakdown_normalized(self):
+        stats = self.make()
+        breakdown = stats.slot_breakdown()
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+        assert breakdown[Slot.ACTIVE] == pytest.approx(120 / 400)
+
+    def test_empty_breakdown(self):
+        assert sum(SimStats().slot_breakdown().values()) == 0.0
+
+    def test_counters_for_energy_model(self):
+        counters = self.make().counters()
+        assert counters["alu_ops"] == 60
+        assert counters["assist_instructions"] == 20
+        assert counters["instructions"] == 120
+
+    def test_all_slots_labelled(self):
+        assert set(SLOT_LABELS) == set(Slot)

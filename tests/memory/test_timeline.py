@@ -1,0 +1,120 @@
+"""Unit and property tests for reservation timelines."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.timeline import MAX_FREE_INTERVALS, Timeline
+
+
+class TestBasicReservation:
+    def test_empty_timeline_serves_immediately(self):
+        t = Timeline()
+        assert t.reserve(10.0, 5.0) == 10.0
+
+    def test_busy_timeline_queues(self):
+        t = Timeline()
+        t.reserve(0.0, 10.0)
+        assert t.reserve(0.0, 5.0) == 10.0
+
+    def test_sequential_requests_pipeline(self):
+        t = Timeline()
+        starts = [t.reserve(0.0, 2.0) for _ in range(5)]
+        assert starts == [0.0, 2.0, 4.0, 6.0, 8.0]
+
+    def test_zero_duration_is_free(self):
+        t = Timeline()
+        assert t.reserve(5.0, 0.0) == 5.0
+        assert t.busy_time == 0.0
+
+    def test_busy_time_accumulates(self):
+        t = Timeline()
+        t.reserve(0.0, 3.0)
+        t.reserve(0.0, 4.0)
+        assert t.busy_time == 7.0
+
+
+class TestGapFilling:
+    def test_future_reservation_leaves_gap_usable(self):
+        t = Timeline()
+        # A reservation far in the future must not block earlier time.
+        assert t.reserve(100.0, 10.0) == 100.0
+        assert t.reserve(0.0, 5.0) == 0.0
+
+    def test_gap_too_small_is_skipped(self):
+        t = Timeline()
+        t.reserve(4.0, 10.0)  # free gap [0, 4)
+        assert t.reserve(0.0, 5.0) == 14.0
+
+    def test_gap_exactly_fits(self):
+        t = Timeline()
+        t.reserve(5.0, 10.0)  # free gap [0, 5)
+        assert t.reserve(0.0, 5.0) == 0.0
+
+    def test_multiple_gaps_first_fit(self):
+        t = Timeline()
+        t.reserve(10.0, 10.0)  # gap [0,10)
+        t.reserve(30.0, 10.0)  # gaps [0,10) [20,30)
+        assert t.reserve(0.0, 8.0) == 0.0
+        assert t.reserve(0.0, 9.0) == 20.0
+
+    def test_interval_list_is_bounded(self):
+        t = Timeline()
+        for i in range(200):
+            t.reserve(i * 10.0 + 5.0, 1.0)
+        assert len(t._free) <= MAX_FREE_INTERVALS + 1
+
+
+class TestUtilization:
+    def test_utilization_fraction(self):
+        t = Timeline()
+        t.reserve(0.0, 25.0)
+        assert t.utilization(100.0) == 0.25
+
+    def test_utilization_clamped_to_one(self):
+        t = Timeline()
+        t.reserve(0.0, 500.0)
+        assert t.utilization(100.0) == 1.0
+
+    def test_zero_elapsed(self):
+        assert Timeline().utilization(0.0) == 0.0
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=1e5),
+            st.floats(min_value=0.1, max_value=50),
+        ),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_reservations_never_overlap(requests):
+    """No two reservations may occupy the same instant."""
+    t = Timeline()
+    granted: list[tuple[float, float]] = []
+    for at, duration in requests:
+        start = t.reserve(at, duration)
+        assert start >= at
+        granted.append((start, start + duration))
+    granted.sort()
+    for (s1, e1), (s2, e2) in zip(granted, granted[1:]):
+        assert e1 <= s2 + 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=1e4),
+            st.floats(min_value=0.1, max_value=20),
+        ),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_busy_time_equals_total_duration(requests):
+    t = Timeline()
+    for at, duration in requests:
+        t.reserve(at, duration)
+    assert abs(t.busy_time - sum(d for _, d in requests)) < 1e-6

@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestListApps:
+    def test_lists_pool(self, capsys):
+        assert main(["list-apps"]) == 0
+        out = capsys.readouterr().out
+        assert "PVC" in out and "dmr" in out
+        assert "lonestar" in out
+
+
+class TestRun:
+    def test_run_caba(self, capsys):
+        assert main(["run", "PVC", "--design", "caba"]) == 0
+        out = capsys.readouterr().out
+        assert "CABA-BDI" in out
+        assert "compression ratio" in out
+
+    def test_run_base(self, capsys):
+        assert main(["run", "PVC", "--design", "base"]) == 0
+        out = capsys.readouterr().out
+        assert "Base" in out
+
+    def test_run_with_algorithm(self, capsys):
+        assert main(["run", "PVC", "--design", "caba",
+                     "--algorithm", "fvc"]) == 0
+        assert "CABA-FVC" in capsys.readouterr().out
+
+    def test_unknown_app_fails_cleanly(self, capsys):
+        assert main(["run", "quake3"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bandwidth_scale(self, capsys):
+        assert main(["run", "NQU", "--design", "base",
+                     "--bandwidth-scale", "2.0"]) == 0
+
+
+class TestCompare:
+    def test_compare_prints_five_designs(self, capsys):
+        assert main(["compare", "PVC"]) == 0
+        out = capsys.readouterr().out
+        for name in ("Base", "HW-BDI-Mem", "HW-BDI", "CABA-BDI",
+                     "Ideal-BDI"):
+            assert name in out
+
+
+class TestFigure:
+    def test_fig5(self, capsys):
+        assert main(["figure", "fig5"]) == 0
+        assert "17" in capsys.readouterr().out
+
+    def test_tab1(self, capsys):
+        assert main(["figure", "tab1"]) == 0
+        assert "177.4" in capsys.readouterr().out
+
+    def test_bad_figure_id(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "fig99"])
+
+
+class TestCompress:
+    def test_compress_file(self, tmp_path, capsys):
+        path = tmp_path / "data.bin"
+        path.write_bytes(bytes(4096))
+        assert main(["compress", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "bdi" in out and "fvc" in out
+
+    def test_empty_input(self, tmp_path, capsys):
+        path = tmp_path / "empty.bin"
+        path.write_bytes(b"")
+        assert main(["compress", str(path)]) == 1
+
+    def test_padding_of_partial_lines(self, tmp_path, capsys):
+        path = tmp_path / "odd.bin"
+        path.write_bytes(bytes(100))
+        assert main(["compress", str(path), "--line-size", "64"]) == 0
+        assert "2 lines" in capsys.readouterr().out

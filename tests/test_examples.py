@@ -1,0 +1,83 @@
+"""Smoke checks for the example scripts and the experiments driver.
+
+The examples are exercised end-to-end outside the unit suite (they run
+minutes of simulation); here we pin that they stay syntactically valid,
+import only public API, and expose a ``main`` entry point.
+"""
+
+import ast
+import pathlib
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+EXAMPLES = sorted((REPO / "examples").glob("*.py"))
+SCRIPTS = sorted((REPO / "scripts").glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES + SCRIPTS,
+                         ids=lambda p: p.name)
+def test_script_parses(path):
+    tree = ast.parse(path.read_text(), filename=str(path))
+    assert tree.body
+
+
+@pytest.mark.parametrize("path", EXAMPLES + SCRIPTS,
+                         ids=lambda p: p.name)
+def test_script_has_main_guard(path):
+    source = path.read_text()
+    assert 'if __name__ == "__main__":' in source
+    assert "def main(" in source
+
+
+def test_at_least_three_examples():
+    assert len(EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_examples_import_only_public_api(path):
+    """Examples must demonstrate the public surface, not internals."""
+    tree = ast.parse(path.read_text())
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module:
+            root = node.module.split(".")[0]
+            assert root in ("repro",), node.module
+            # No private-module imports.
+            assert not any(
+                part.startswith("_") for part in node.module.split(".")
+            ), node.module
+
+
+class TestResultsGate:
+    """The saved experiment matrix must satisfy the paper's shapes."""
+
+    def test_checker_passes_on_shipped_results(self, capsys):
+        import json
+
+        from importlib import util as importlib_util
+
+        spec = importlib_util.spec_from_file_location(
+            "check_results", REPO / "scripts" / "check_results.py"
+        )
+        module = importlib_util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        with open(REPO / "results_small.json") as fh:
+            dump = json.load(fh)
+        assert module.validate(dump) == 0
+
+    def test_checker_fails_on_broken_results(self):
+        from importlib import util as importlib_util
+
+        spec = importlib_util.spec_from_file_location(
+            "check_results", REPO / "scripts" / "check_results.py"
+        )
+        module = importlib_util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        broken = {
+            "fig7": {"summary": {
+                "geomean_Base": 1.0, "geomean_HW-BDI-Mem": 0.9,
+                "geomean_HW-BDI": 0.9, "geomean_CABA-BDI": 0.8,
+                "geomean_Ideal-BDI": 0.9,
+            }}
+        }
+        assert module.validate(broken) != 0

@@ -1,0 +1,99 @@
+"""Cross-design and cross-run invariants of the whole system.
+
+These catch a class of bug no unit test sees: a design point that
+silently changes *how much work* runs (rather than how fast it runs),
+non-deterministic simulation, or accounting that leaks between levels.
+"""
+
+import pytest
+
+from repro import design as designs
+from repro.gpu.config import GPUConfig
+from repro.harness.runner import run_app
+
+APPS = ("PVC", "bfs", "RAY")
+
+ALL_DESIGNS = (
+    designs.base(),
+    designs.hw_mem(),
+    designs.hw(),
+    designs.caba(),
+    designs.caba_l2_uncompressed(),
+    designs.ideal(),
+)
+
+
+@pytest.fixture(scope="module", params=APPS)
+def app_runs(request):
+    app = request.param
+    return app, [run_app(app, d) for d in ALL_DESIGNS]
+
+
+class TestWorkConservation:
+    def test_parent_instruction_count_identical_across_designs(self, app_runs):
+        """Compression changes *when* instructions issue, never *which*:
+        the application's dynamic instruction count is design-invariant."""
+        app, runs = app_runs
+        counts = {r.design: r.instructions - r.assist_instructions
+                  for r in runs}
+        assert len(set(counts.values())) == 1, (app, counts)
+
+    def test_no_run_truncates(self, app_runs):
+        app, runs = app_runs
+        assert not any(r.truncated for r in runs), app
+
+    def test_dram_reads_never_increase_with_compression(self, app_runs):
+        """Compression shrinks bursts, not the number of line reads
+        (modulo RMW partial-write reads, excluded via read counts of
+        demand lines)."""
+        app, runs = app_runs
+        by_design = {r.design: r for r in runs}
+        base_bursts = by_design["Base"].dram_bursts["read"]
+        for r in runs:
+            if r.design == "Base":
+                continue
+            assert r.dram_bursts["read"] <= base_bursts * 1.05, (
+                app, r.design
+            )
+
+
+class TestDeterminism:
+    def test_identical_reruns(self):
+        a = run_app("MM", designs.caba(), use_cache=False)
+        b = run_app("MM", designs.caba(), use_cache=False)
+        assert a.cycles == b.cycles
+        assert a.instructions == b.instructions
+        assert a.dram_bursts == b.dram_bursts
+        assert a.energy.total == pytest.approx(b.energy.total)
+
+
+class TestMetricSanity:
+    def test_utilizations_in_range(self, app_runs):
+        app, runs = app_runs
+        for r in runs:
+            assert 0.0 <= r.bandwidth_utilization <= 1.0, (app, r.design)
+
+    def test_compression_ratio_at_least_one(self, app_runs):
+        app, runs = app_runs
+        for r in runs:
+            assert r.compression_ratio >= 1.0, (app, r.design)
+
+    def test_slot_breakdowns_normalized(self, app_runs):
+        app, runs = app_runs
+        for r in runs:
+            assert sum(r.slot_breakdown.values()) == pytest.approx(1.0)
+
+    def test_energy_components_nonnegative(self, app_runs):
+        app, runs = app_runs
+        for r in runs:
+            for key, value in r.energy.as_dict().items():
+                assert value >= 0.0, (app, r.design, key)
+
+    def test_only_assist_designs_issue_assist_instructions(self, app_runs):
+        app, runs = app_runs
+        for r in runs:
+            uses_assist = "CABA" in r.design
+            if not uses_assist:
+                assert r.assist_instructions == 0, (app, r.design)
+            else:
+                assert r.assist_instructions > 0, (app, r.design)

@@ -1,0 +1,82 @@
+"""Consistency tests for the application profile pool."""
+
+import pytest
+
+from repro.workloads.apps import (
+    APPLICATIONS,
+    COMPRESSION_APPS,
+    FIGURE1_APPS,
+    get_app,
+)
+from repro.workloads.data_patterns import PATTERNS
+
+
+class TestPoolStructure:
+    def test_figure1_has_27_apps(self):
+        assert len(FIGURE1_APPS) == 27
+        assert len(set(FIGURE1_APPS)) == 27
+
+    def test_compression_study_has_20_apps(self):
+        assert len(COMPRESSION_APPS) == 20
+        assert len(set(COMPRESSION_APPS)) == 20
+
+    def test_all_named_apps_exist(self):
+        for name in FIGURE1_APPS + COMPRESSION_APPS:
+            assert name in APPLICATIONS
+
+    def test_figure1_memory_majority(self):
+        """Paper: 17 of the 27 studied applications are memory bound."""
+        memory = [n for n in FIGURE1_APPS
+                  if APPLICATIONS[n].category == "memory"]
+        assert len(memory) == 17
+
+    def test_compression_apps_are_flagged_compressible(self):
+        for name in COMPRESSION_APPS:
+            assert APPLICATIONS[name].compressible, name
+
+    def test_incompressible_apps_exist(self):
+        """sc and SCP carry incompressible data (Section 5)."""
+        assert not APPLICATIONS["sc"].compressible
+        assert not APPLICATIONS["SCP"].compressible
+
+    def test_suites_match_paper(self):
+        suites = {APPLICATIONS[n].suite for n in COMPRESSION_APPS}
+        assert suites == {"cuda", "rodinia", "mars", "lonestar"}
+
+
+class TestProfileValidity:
+    @pytest.mark.parametrize("name", sorted(APPLICATIONS))
+    def test_data_mixture_valid(self, name):
+        app = APPLICATIONS[name]
+        assert app.data
+        assert set(app.data) <= set(PATTERNS)
+        assert all(w >= 0 for w in app.data.values())
+
+    @pytest.mark.parametrize("name", sorted(APPLICATIONS))
+    def test_resources_sane(self, name):
+        app = APPLICATIONS[name]
+        assert 1 <= app.warps_per_block <= 16
+        assert 8 <= app.regs_per_thread <= 64
+        assert app.iterations >= 1
+        assert app.body
+
+    @pytest.mark.parametrize("name", sorted(APPLICATIONS))
+    def test_memory_bound_apps_have_memory_ops(self, name):
+        app = APPLICATIONS[name]
+        if app.category != "memory":
+            return
+        kinds = {spec.kind for spec in app.body}
+        assert "load" in kinds
+
+    def test_seeds_unique(self):
+        seeds = [a.seed for a in APPLICATIONS.values()]
+        assert len(seeds) == len(set(seeds))
+
+
+class TestLookup:
+    def test_get_app(self):
+        assert get_app("PVC").name == "PVC"
+
+    def test_unknown_app(self):
+        with pytest.raises(KeyError):
+            get_app("doom")

@@ -1,0 +1,128 @@
+"""Unit and property tests for synthetic data generation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compression import (
+    BdiCompressor,
+    CPackCompressor,
+    FpcCompressor,
+)
+from repro.workloads.data_patterns import PATTERNS, make_line_generator
+
+
+class TestDeterminism:
+    def test_same_address_same_bytes(self):
+        gen = make_line_generator({"narrow8": 1.0}, 128, seed=3)
+        assert gen(42) == gen(42)
+
+    def test_different_addresses_differ(self):
+        gen = make_line_generator({"narrow8": 1.0}, 128, seed=3)
+        assert gen(1) != gen(2)
+
+    def test_seed_changes_data(self):
+        a = make_line_generator({"narrow8": 1.0}, 128, seed=1)
+        b = make_line_generator({"narrow8": 1.0}, 128, seed=2)
+        assert a(5) != b(5)
+
+    def test_line_size_respected(self):
+        for size in (32, 64, 128):
+            gen = make_line_generator({"text": 1.0}, size, seed=1)
+            assert len(gen(0)) == size
+
+
+class TestPatternCompressibility:
+    """Each pattern must favour the algorithm it is designed for."""
+
+    def gen(self, pattern):
+        return make_line_generator({pattern: 1.0}, 128, seed=9)
+
+    def ratios(self, pattern, lines=60):
+        gen = self.gen(pattern)
+        algos = {
+            "bdi": BdiCompressor(128),
+            "fpc": FpcCompressor(128),
+            "cpack": CPackCompressor(128),
+        }
+        out = {}
+        for name, algo in algos.items():
+            total = sum(algo.compress(gen(i)).size_bytes
+                        for i in range(lines))
+            out[name] = 128 * lines / total
+        return out
+
+    def test_zeros_compress_everywhere(self):
+        ratios = self.ratios("zeros")
+        assert all(r > 4 for r in ratios.values())
+
+    def test_narrow8_favours_bdi(self):
+        ratios = self.ratios("narrow8")
+        assert ratios["bdi"] > 2.0
+        assert ratios["bdi"] > ratios["fpc"]
+
+    def test_small_int_suits_fpc(self):
+        ratios = self.ratios("small_int")
+        assert ratios["fpc"] > 1.5
+
+    def test_dict_words_favour_cpack(self):
+        ratios = self.ratios("dict_words")
+        assert ratios["cpack"] > ratios["fpc"]
+        assert ratios["cpack"] > 1.5
+
+    def test_float32_suits_cpack_over_fpc(self):
+        ratios = self.ratios("float32")
+        assert ratios["cpack"] > ratios["fpc"]
+
+    def test_random_is_incompressible(self):
+        ratios = self.ratios("random")
+        assert all(r < 1.15 for r in ratios.values())
+
+
+class TestMixtures:
+    def test_mixture_draws_multiple_patterns(self):
+        gen = make_line_generator(
+            {"zeros": 0.5, "random": 0.5}, 128, seed=5
+        )
+        lines = [gen(i) for i in range(80)]
+        zero_lines = sum(1 for l in lines if not any(l))
+        assert 10 < zero_lines < 70
+
+    def test_weights_shift_distribution(self):
+        mostly_zero = make_line_generator(
+            {"zeros": 0.9, "random": 0.1}, 128, seed=5
+        )
+        mostly_random = make_line_generator(
+            {"zeros": 0.1, "random": 0.9}, 128, seed=5
+        )
+        z1 = sum(1 for i in range(100) if not any(mostly_zero(i)))
+        z2 = sum(1 for i in range(100) if not any(mostly_random(i)))
+        assert z1 > z2
+
+
+class TestValidation:
+    def test_empty_mixture(self):
+        with pytest.raises(ValueError):
+            make_line_generator({}, 128)
+
+    def test_unknown_pattern(self):
+        with pytest.raises(ValueError):
+            make_line_generator({"sparkles": 1.0}, 128)
+
+    def test_negative_weight(self):
+        with pytest.raises(ValueError):
+            make_line_generator({"zeros": -1.0, "random": 2.0}, 128)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    pattern=st.sampled_from(sorted(PATTERNS)),
+    line=st.integers(min_value=0, max_value=1 << 40),
+    size=st.sampled_from([32, 64, 128]),
+)
+def test_every_pattern_round_trips_through_every_algorithm(pattern, line, size):
+    gen = make_line_generator({pattern: 1.0}, size, seed=2)
+    data = gen(line)
+    assert len(data) == size
+    for algo in (BdiCompressor(size), FpcCompressor(size),
+                 CPackCompressor(size)):
+        assert algo.decompress(algo.compress(data)) == data

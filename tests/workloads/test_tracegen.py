@@ -1,0 +1,149 @@
+"""Unit tests for kernel/trace generation."""
+
+import pytest
+
+from repro.gpu.config import GPUConfig
+from repro.gpu.isa import MemSpace, OpKind
+from repro.workloads.apps import APPLICATIONS, OpSpec, get_app
+from repro.workloads.tracegen import (
+    REGION_STRIDE,
+    TraceScale,
+    build_kernel,
+    build_program,
+)
+
+
+class TestProgramConstruction:
+    def test_body_matches_spec_counts(self):
+        app = get_app("PVC")
+        program = build_program(app, GPUConfig.small(), total_warps=32)
+        loads = sum(1 for i in program.body
+                    if i.kind is OpKind.LOAD and i.space is MemSpace.GLOBAL)
+        stores = sum(1 for i in program.body if i.kind is OpKind.STORE)
+        spec_loads = sum(s.count for s in app.body if s.kind == "load")
+        spec_stores = sum(s.count for s in app.body if s.kind == "store")
+        assert loads == spec_loads
+        assert stores == spec_stores
+
+    def test_work_scale(self):
+        app = get_app("PVC")
+        full = build_program(app, GPUConfig.small(), 32)
+        half = build_program(app, GPUConfig.small(), 32,
+                             TraceScale(work=0.5))
+        assert half.iterations == round(app.iterations * 0.5)
+        assert full.iterations == app.iterations
+
+    def test_loads_rotate_destination_registers(self):
+        app = get_app("MM")  # 4 loads per iteration
+        program = build_program(app, GPUConfig.small(), 32)
+        load_dsts = [i.dst_mask for i in program.body
+                     if i.kind is OpKind.LOAD and i.space is MemSpace.GLOBAL]
+        assert len(set(load_dsts)) == len(load_dsts)
+
+    def test_alu_depends_on_a_load(self):
+        app = get_app("PVC")
+        program = build_program(app, GPUConfig.small(), 32)
+        load_dsts = 0
+        for i in program.body:
+            if i.kind is OpKind.LOAD:
+                load_dsts |= i.dst_mask
+        alus = [i for i in program.body
+                if i.kind is OpKind.ALU and i.tag == "alu"]
+        assert any(i.src_mask & load_dsts for i in alus)
+
+
+class TestAddressGenerators:
+    def config(self):
+        return GPUConfig.small()
+
+    def test_stream_is_coalesced_and_unique(self):
+        app = get_app("PVC")
+        program = build_program(app, self.config(), total_warps=8)
+        load = next(i for i in program.body
+                    if i.kind is OpKind.LOAD and i.space is MemSpace.GLOBAL)
+        seen = set()
+        for w in range(8):
+            for it in range(4):
+                lines = load.addr_fn(w, it)
+                assert len(lines) == 1
+                seen.update(lines)
+        assert len(seen) == 32  # all distinct while within the region
+
+    def test_stride_touches_two_lines(self):
+        app = get_app("LPS")
+        program = build_program(app, self.config(), total_warps=8)
+        load = next(i for i in program.body
+                    if i.kind is OpKind.LOAD and i.space is MemSpace.GLOBAL)
+        assert len(load.addr_fn(0, 0)) == 2
+
+    def test_random_fanout(self):
+        app = get_app("BFS")
+        program = build_program(app, self.config(), total_warps=8)
+        load = next(i for i in program.body
+                    if i.kind is OpKind.LOAD and i.space is MemSpace.GLOBAL)
+        assert len(load.addr_fn(0, 0)) == 2
+
+    def test_regions_do_not_overlap(self):
+        app = get_app("MM")
+        program = build_program(app, self.config(), total_warps=8)
+        loads = [i for i in program.body
+                 if i.kind is OpKind.LOAD and i.space is MemSpace.GLOBAL]
+        regions = set()
+        for load in loads:
+            line = load.addr_fn(0, 0)[0]
+            regions.add(line // REGION_STRIDE)
+        assert len(regions) == len(loads)
+
+    def test_reuse_confined_to_footprint(self):
+        app = get_app("RAY")  # reuse pattern, footprint 0.7 x L2
+        cfg = self.config()
+        program = build_program(app, cfg, total_warps=8)
+        load = next(i for i in program.body
+                    if i.kind is OpKind.LOAD and i.space is MemSpace.GLOBAL)
+        l2_lines = cfg.l2_size // cfg.line_size
+        base = REGION_STRIDE
+        for w in range(8):
+            for it in range(10):
+                for line in load.addr_fn(w, it):
+                    assert 0 <= line - (line // REGION_STRIDE) * REGION_STRIDE \
+                        <= int(0.7 * l2_lines) + 64
+
+    def test_addresses_deterministic(self):
+        app = get_app("BFS")
+        p1 = build_program(app, self.config(), 8)
+        p2 = build_program(app, self.config(), 8)
+        l1 = next(i for i in p1.body if i.kind is OpKind.LOAD)
+        l2 = next(i for i in p2.body if i.kind is OpKind.LOAD)
+        assert l1.addr_fn(3, 7) == l2.addr_fn(3, 7)
+
+
+class TestKernelConstruction:
+    @pytest.mark.parametrize("name", sorted(APPLICATIONS))
+    def test_every_app_builds_for_every_config(self, name):
+        app = get_app(name)
+        for config in (GPUConfig.small(), GPUConfig.medium(), GPUConfig()):
+            kernel = build_kernel(app, config)
+            assert kernel.n_blocks >= 1
+            assert kernel.warps_per_block == app.warps_per_block
+
+    def test_waves_scale_grid(self):
+        app = get_app("PVC")
+        one = build_kernel(app, GPUConfig.small(), TraceScale(waves=1.0))
+        two = build_kernel(app, GPUConfig.small(), TraceScale(waves=2.0))
+        assert two.n_blocks == 2 * one.n_blocks
+
+    def test_unknown_pattern_rejected(self):
+        from dataclasses import replace
+
+        app = get_app("PVC")
+        bad = replace(app, body=(OpSpec("load", pattern="zigzag"),))
+        with pytest.raises(ValueError):
+            build_kernel(bad, GPUConfig.small())
+
+    def test_unknown_op_rejected(self):
+        from dataclasses import replace
+
+        app = get_app("PVC")
+        bad = replace(app, body=(OpSpec("dance"),))
+        with pytest.raises(ValueError):
+            build_kernel(bad, GPUConfig.small())
