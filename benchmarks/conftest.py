@@ -5,6 +5,11 @@ rows/series the paper reports. By default a representative application
 subset runs on the fast scaled machine so the whole suite finishes in
 minutes; set ``REPRO_BENCH_FULL=1`` to run every application on the
 medium machine (as used for EXPERIMENTS.md).
+
+Simulations fan out over worker processes when ``--jobs N`` (or
+``REPRO_JOBS=N``) is given; ``--jobs 1`` is the exact serial path.
+Completed runs persist in the on-disk run cache, so repeated benchmark
+invocations skip simulation.
 """
 
 from __future__ import annotations
@@ -14,9 +19,25 @@ import os
 import pytest
 
 from repro.gpu.config import GPUConfig
+from repro.harness import parallel
 from repro.workloads.apps import COMPRESSION_APPS, FIGURE1_APPS
 
 FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--jobs", type=int, default=None,
+        help="simulation worker processes (default: REPRO_JOBS or 1)",
+    )
+
+
+@pytest.fixture(scope="session", autouse=True)
+def experiment_engine(request):
+    """Configure the shared engine once per benchmark session."""
+    engine = parallel.configure(jobs=request.config.getoption("--jobs"))
+    yield engine
+    parallel.shutdown()
 
 #: Default compression-study subset: BDI-friendly streaming (PVC, MM,
 #: PVR), FPC/C-Pack-friendly (JPEG, MUM), interconnect-bound (bfs),

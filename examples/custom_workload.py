@@ -63,7 +63,7 @@ def run_designs() -> None:
         print(f"  {label:7s} speedup {caba.ipc / base.ipc:5.2f}x  "
               f"DRAM busy {base.bandwidth_utilization:5.1%} -> "
               f"{caba.bandwidth_utilization:5.1%}  "
-              f"RMW reads {caba.raw.memory.stats.rmw_reads}")
+              f"RMW reads {caba.rmw_reads}")
     print("  (the scattered partial-line stores exercise the paper's "
           "Section 4.2.2 read-modify-write corner)")
     print()
@@ -75,11 +75,10 @@ def sweep_store_buffer() -> None:
     for lines in (2, 8, 16, 64):
         params = CabaParams(store_buffer_lines=lines)
         run = run_app(histogram, designs.caba(), caba_params=params)
-        stats = run.raw.memory.stats
-        total = max(1, stats.l1_stores)
+        total = max(1, run.l1_stores)
         print(f"  buffer={lines:3d}  speedup {run.ipc / base.ipc:5.2f}x  "
               f"stores compressed "
-              f"{stats.lines_compressed}/{total}")
+              f"{run.lines_compressed}/{total}")
 
 
 def main() -> None:

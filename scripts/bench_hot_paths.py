@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Microbenchmarks for the simulator and compressor hot paths.
+
+Measures the three paths the perf work targets:
+
+* ``sim`` — end-to-end `run_app` wall time and simulated cycles per
+  second for a memory-bound CABA run and a compute-leaning Base run.
+* ``bdi`` — BDI compress+decompress round-trip throughput over
+  generated application lines (the byte-level inner loop).
+* ``subroutines`` — assist-warp subroutine construction cost (the
+  per-run `SubroutineLibrary` path).
+
+Results are merged into ``BENCH_runner.json`` under ``--label`` so the
+perf trajectory (before/after records) is tracked in-repo:
+
+    python scripts/bench_hot_paths.py --label after
+
+Run with a warm process (no persistent cache, no memoized runs) so the
+numbers reflect simulation cost, not cache hits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+
+# The benchmark must measure real simulation work, never cache hits.
+os.environ["REPRO_CACHE"] = "0"
+
+from repro import design as designs  # noqa: E402
+from repro.compression import make_algorithm  # noqa: E402
+from repro.core.subroutines import SubroutineLibrary  # noqa: E402
+from repro.harness.runner import clear_caches, run_app  # noqa: E402
+from repro.workloads.apps import get_app  # noqa: E402
+from repro.workloads.data_patterns import make_line_generator  # noqa: E402
+
+
+def bench_sim(repeats: int) -> dict:
+    """End-to-end run_app wall time (the figure-harness unit of work)."""
+    points = [("PVC", designs.caba("bdi")), ("MM", designs.base())]
+    # Warm the shared line-info caches once so repeats measure the
+    # simulator, not first-touch compression of the memory image.
+    for app, point in points:
+        run_app(app, point, use_cache=False)
+    out = {}
+    for app, point in points:
+        best = float("inf")
+        cycles = 0
+        for _ in range(repeats):
+            start = time.perf_counter()
+            result = run_app(app, point, use_cache=False)
+            elapsed = time.perf_counter() - start
+            best = min(best, elapsed)
+            cycles = result.cycles
+        out[f"{app}-{point.name}"] = {
+            "seconds": round(best, 4),
+            "cycles": cycles,
+            "cycles_per_second": round(cycles / best),
+        }
+    return out
+
+
+def bench_bdi(lines: int, repeats: int) -> dict:
+    """BDI compress+decompress round trips over real app data."""
+    line_size = 128
+    bdi = make_algorithm("bdi", line_size)
+    gen = make_line_generator(get_app("PVC").data, line_size, seed=7)
+    payloads = [gen(i) for i in range(lines)]
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for data in payloads:
+            compressed = bdi.compress(data)
+            bdi.decompress(compressed)
+        best = min(best, time.perf_counter() - start)
+    return {
+        "lines": lines,
+        "seconds": round(best, 4),
+        "lines_per_second": round(lines / best),
+    }
+
+
+def bench_subroutines(repeats: int) -> dict:
+    """Cost of building every assist program a CABA-BDI run needs."""
+    encodings = ("ZEROS", "REPEAT", "B8D1", "B8D2", "B4D1")
+    iterations = 2000
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(iterations):
+            library = SubroutineLibrary(line_size=128)
+            library.compression("bdi")
+            for encoding in encodings:
+                library.decompression("bdi", encoding)
+        best = min(best, time.perf_counter() - start)
+    return {
+        "library_builds": iterations,
+        "seconds": round(best, 4),
+        "builds_per_second": round(iterations / best),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--label", default="after",
+                        help="record name in BENCH_runner.json")
+    parser.add_argument("--out", default="BENCH_runner.json")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--bdi-lines", type=int, default=4000)
+    args = parser.parse_args()
+
+    clear_caches()
+    record = {
+        "python": platform.python_version(),
+        "sim": bench_sim(args.repeats),
+        "bdi": bench_bdi(args.bdi_lines, args.repeats),
+        "subroutines": bench_subroutines(args.repeats),
+    }
+
+    merged = {}
+    if os.path.exists(args.out):
+        with open(args.out) as fh:
+            merged = json.load(fh)
+    merged[args.label] = record
+
+    before = merged.get("before", {}).get("sim", {})
+    after = merged.get("after", {}).get("sim", {})
+    for key in sorted(set(before) & set(after)):
+        speedup = before[key]["seconds"] / after[key]["seconds"]
+        merged.setdefault("speedup", {})[key] = round(speedup, 3)
+
+    with open(args.out, "w") as fh:
+        json.dump(merged, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(record, indent=2))
+    print(f"wrote {args.out} [{args.label}]")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -9,6 +9,12 @@ Usage:
     python scripts/run_experiments.py [--config small|medium|full]
                                       [--out results.json]
                                       [--only fig7,fig8,...]
+                                      [--jobs N]
+
+``--jobs N`` (or ``REPRO_JOBS=N``) fans the simulation matrix out over
+N worker processes; results are identical to a serial run. Completed
+runs are persisted in the on-disk cache (``REPRO_CACHE_DIR``), so
+re-invocations skip simulation entirely.
 """
 
 from __future__ import annotations
@@ -19,7 +25,7 @@ import sys
 import time
 
 from repro.gpu.config import GPUConfig
-from repro.harness import figures
+from repro.harness import figures, parallel
 from repro.harness.extensions import (
     ablation_study,
     md_cache_sweep,
@@ -59,17 +65,28 @@ def experiment_matrix(config: GPUConfig):
     ]
 
 
+def _jobs_arg(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--config", choices=sorted(CONFIGS), default="small")
     parser.add_argument("--out", default=None, help="JSON output path")
     parser.add_argument("--only", default=None,
                         help="comma-separated experiment ids")
+    parser.add_argument("--jobs", type=_jobs_arg, default=None,
+                        help="simulation worker processes "
+                             "(default: REPRO_JOBS or 1)")
     args = parser.parse_args()
 
+    engine = parallel.configure(jobs=args.jobs)
     config = CONFIGS[args.config]()
     wanted = set(args.only.split(",")) if args.only else None
-    dump = {"config": args.config}
+    dump = {"config": args.config, "jobs": engine.jobs}
 
     for name, thunk in experiment_matrix(config):
         if wanted is not None and name not in wanted:
@@ -93,6 +110,7 @@ def main() -> int:
         with open(args.out, "w") as fh:
             json.dump(dump, fh, indent=2, default=str)
         print(f"\nwrote {args.out}")
+    parallel.shutdown()
     return 0
 
 

@@ -6,6 +6,7 @@ Commands:
     compare APP          compare all five Figure-7 designs on one app
     figure ID            regenerate one paper figure/table
     compress FILE|-      compress raw bytes line by line and report ratios
+    cache info|clear     inspect or empty the persistent run cache
 
 The CLI is a thin layer over the public API (``repro.run_app``,
 ``repro.harness.figures``), so everything it prints is reproducible from
@@ -56,6 +57,13 @@ FIGURES = {
 }
 
 
+def _jobs_arg(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -82,12 +90,20 @@ def _build_parser() -> argparse.ArgumentParser:
     fig_p = sub.add_parser("figure", help="regenerate a paper figure")
     fig_p.add_argument("id", choices=sorted(FIGURES))
     fig_p.add_argument("--config", choices=sorted(CONFIGS), default="small")
+    fig_p.add_argument("--jobs", type=_jobs_arg, default=None,
+                       help="simulation worker processes "
+                            "(default: REPRO_JOBS or 1)")
 
     comp_p = sub.add_parser(
         "compress", help="compress a file's bytes line by line"
     )
     comp_p.add_argument("path", help="input file, or '-' for stdin")
     comp_p.add_argument("--line-size", type=int, default=128)
+
+    cache_p = sub.add_parser(
+        "cache", help="inspect or clear the persistent run cache"
+    )
+    cache_p.add_argument("action", choices=("info", "clear"))
     return parser
 
 
@@ -153,9 +169,32 @@ def _cmd_compare(args) -> int:
 
 
 def _cmd_figure(args) -> int:
+    from repro.harness import parallel
+
+    parallel.configure(jobs=args.jobs)
     config = CONFIGS[args.config]()
     result = FIGURES[args.id](config)
     print(render_table(result))
+    parallel.shutdown()
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from repro.harness.cache import RunCache, cache_enabled
+
+    cache = RunCache()
+    if args.action == "info":
+        info = cache.info()
+        print(f"root          : {info['root']}")
+        print(f"version stamp : {info['stamp']}")
+        print(f"entries       : {info['entries']}")
+        print(f"stale entries : {info['stale_entries']}")
+        print(f"total size    : {info['total_bytes'] / 1024:.1f} KiB")
+        if not cache_enabled():
+            print("note: persistent caching is disabled (REPRO_CACHE=0)")
+        return 0
+    removed = cache.clear()
+    print(f"removed {removed} cached runs from {cache.root}")
     return 0
 
 
@@ -197,6 +236,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_figure(args)
         if args.command == "compress":
             return _cmd_compress(args)
+        if args.command == "cache":
+            return _cmd_cache(args)
     except KeyError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -75,11 +75,20 @@ class _BdiState:
 
 
 def _split_words(data: bytes, word_bytes: int) -> list[int]:
-    """Interpret ``data`` as little-endian unsigned words."""
-    return [
-        int.from_bytes(data[i : i + word_bytes], "little")
-        for i in range(0, len(data), word_bytes)
-    ]
+    """Interpret ``data`` as little-endian unsigned words.
+
+    One big-int conversion plus shift/mask extraction is several times
+    faster than per-word ``int.from_bytes`` on slices.
+    """
+    big = int.from_bytes(data, "little")
+    bits = 8 * word_bytes
+    mask = (1 << bits) - 1
+    words = []
+    append = words.append
+    for _ in range(len(data) // word_bytes):
+        append(big & mask)
+        big >>= bits
+    return words
 
 
 def _fits_signed(value: int, n_bytes: int) -> bool:
@@ -97,18 +106,20 @@ def _try_encode(
     immediate from the zero base, exactly as in the original hardware
     algorithm (which must pick the base in a single pass).
     """
+    bound = 1 << (8 * delta_bytes - 1)
+    neg_bound = -bound
     base: int | None = None
     deltas: list[int] = []
     mask: list[bool] = []
     for word in words:
-        if _fits_signed(word, delta_bytes):
+        if neg_bound <= word < bound:
             deltas.append(word)
             mask.append(False)
             continue
         if base is None:
             base = word
         delta = word - base
-        if not _fits_signed(delta, delta_bytes):
+        if not neg_bound <= delta < bound:
             return None
         deltas.append(delta)
         mask.append(True)
@@ -159,13 +170,17 @@ class BdiCompressor(CompressionAlgorithm):
             return special
 
         best: CompressedLine | None = None
+        splits: dict[int, list[int]] = {}
         for encoding in self.encodings:
             size = encoding.compressed_size(self.line_size)
             if size >= self.line_size:
                 continue
             if best is not None and size >= best.size_bytes:
                 continue
-            words = _split_words(data, encoding.base_bytes)
+            words = splits.get(encoding.base_bytes)
+            if words is None:
+                words = _split_words(data, encoding.base_bytes)
+                splits[encoding.base_bytes] = words
             state = _try_encode(words, encoding.base_bytes, encoding.delta_bytes)
             if state is None:
                 continue
@@ -212,12 +227,18 @@ class BdiCompressor(CompressionAlgorithm):
             word = int(line.state).to_bytes(8, "little")
             return word * (self.line_size // 8)
         state: _BdiState = line.state
-        modulus = 1 << (8 * state.word_bytes)
-        out = bytearray()
+        bits = 8 * state.word_bytes
+        modulus = 1 << bits
+        base = state.base
+        # Assemble the line as one big int and serialize once: much
+        # cheaper than one to_bytes per word.
+        big = 0
+        shift = 0
         for delta, uses_base in zip(state.deltas, state.mask):
-            base = state.base if uses_base else 0
-            out += ((base + delta) % modulus).to_bytes(state.word_bytes, "little")
-        return bytes(out)
+            word = ((base + delta) if uses_base else delta) % modulus
+            big |= word << shift
+            shift += bits
+        return big.to_bytes(self.line_size, "little")
 
     # ------------------------------------------------------------------
     # Introspection helpers used by the assist-warp subroutine generator

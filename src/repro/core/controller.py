@@ -148,6 +148,13 @@ class CabaController(AssistController):
         self._store_buffer: deque[_StoreEntry] = deque()
         self._busy_compress_parents: set[int] = set()
 
+        # O(1) pending-work accounting (has_pending_work runs inside the
+        # fast-forward hot path): AWT entries with instructions left to
+        # deploy, and store-buffer entries still waiting for an assist
+        # warp.
+        self._undeployed = 0
+        self._waiting_stores = 0
+
         self._utilization = 0.0
         self._now = 0
 
@@ -180,9 +187,7 @@ class CabaController(AssistController):
     def has_pending_work(self) -> bool:
         """Whether the controller needs the SM ticked next cycle (used to
         bound fast-forwarding)."""
-        if any(aw.deployed < len(aw.program.body) for aw in self._awt):
-            return True
-        return any(e.state == "waiting" for e in self._store_buffer)
+        return self._undeployed > 0 or self._waiting_stores > 0
 
     # ------------------------------------------------------------------
     # Deployment (AWC -> AWB staging)
@@ -190,8 +195,13 @@ class CabaController(AssistController):
     def _deploy(self, cycle: int) -> None:
         if not self._awt:
             return
-        budget = self.params.deploy_width
         n = len(self._awt)
+        if self._undeployed == 0:
+            # Nothing left to stage; still rotate so deployment order is
+            # unchanged relative to the scanning version.
+            self._deploy_rr = (self._deploy_rr + 1) % n
+            return
+        budget = self.params.deploy_width
         for i in range(n):
             if budget == 0:
                 break
@@ -204,6 +214,8 @@ class CabaController(AssistController):
             if aw.deployed - aw.pc >= self.params.ib_stage_depth:
                 continue
             aw.deployed += 1
+            if aw.deployed >= body_len:
+                self._undeployed -= 1
             budget -= 1
         self._deploy_rr = (self._deploy_rr + 1) % max(1, n)
 
@@ -294,6 +306,8 @@ class CabaController(AssistController):
         )
         entry.assist = aw
         self._awt.append(aw)
+        if aw.deployed < len(program.body):
+            self._undeployed += 1
         self._busy_decomp_parents.add(id(entry.owner))
         if priority == HIGH:
             # A blocking assist warp stalls its parent until it completes
@@ -345,6 +359,7 @@ class CabaController(AssistController):
             self._store_buffer.append(
                 _StoreEntry(line=line, parent=warp, full_line=full_line)
             )
+            self._waiting_stores += 1
 
     def _overflow_release(self, cycle: int) -> None:
         """Buffer full: release the oldest entry uncompressed."""
@@ -353,10 +368,12 @@ class CabaController(AssistController):
         if entry.state == "compressing" and entry.assist is not None:
             self._cancel(entry.assist)
         if entry.state != "released":
+            if entry.state == "waiting":
+                self._waiting_stores -= 1
             self._release_store(entry, compressed=False, cycle=cycle)
 
     def _spawn_compressions(self, cycle: int) -> None:
-        if self.throttled:
+        if self._waiting_stores == 0 or self.throttled:
             return
         active_low = sum(
             1
@@ -385,8 +402,11 @@ class CabaController(AssistController):
             line=entry.line,
         )
         entry.state = "compressing"
+        self._waiting_stores -= 1
         entry.assist = aw
         self._awt.append(aw)
+        if aw.deployed < len(program.body):
+            self._undeployed += 1
         self._low.append(aw)
         self._busy_compress_parents.add(id(entry.parent))
         self.stats.compressions_triggered += 1
@@ -455,6 +475,8 @@ class CabaController(AssistController):
     def _remove_from_awt(self, aw: ActiveAssistWarp) -> None:
         if aw in self._awt:
             self._awt.remove(aw)
+            if aw.deployed < len(aw.program.body):
+                self._undeployed -= 1
         if aw in self._low:
             self._low.remove(aw)
 
@@ -475,6 +497,7 @@ class CabaController(AssistController):
             self._release_store(
                 entry, compressed=entry.state == "compressing", cycle=cycle
             )
+        self._waiting_stores = 0
 
     # ------------------------------------------------------------------
     @property

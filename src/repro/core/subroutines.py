@@ -274,6 +274,13 @@ def fvc_compress(line_size: int = 128) -> AssistProgram:
 # ----------------------------------------------------------------------
 # Library
 # ----------------------------------------------------------------------
+#: Built programs shared across library instances. Every run constructs
+#: a fresh SubroutineLibrary, but programs are immutable and depend only
+#: on (line_size, task, algorithm, encoding) — memoizing at module level
+#: removes program construction from the per-run cost entirely.
+_PROGRAM_CACHE: dict[tuple[int, str, str, str], AssistProgram] = {}
+
+
 class SubroutineLibrary:
     """Builds and caches assist programs per (task, algorithm, encoding).
 
@@ -284,7 +291,7 @@ class SubroutineLibrary:
 
     def __init__(self, line_size: int = 128) -> None:
         self.line_size = line_size
-        self._cache: dict[tuple[str, str, str], AssistProgram] = {}
+        self._cache = _PROGRAM_CACHE
 
     def register_demand(self, algorithm: str) -> int:
         """Per-thread registers the compiler must provision (Sec. 3.2.2)."""
@@ -296,7 +303,7 @@ class SubroutineLibrary:
     def decompression(self, algorithm: str, encoding: str) -> AssistProgram:
         if algorithm == "bestofall" and ":" in encoding:
             algorithm, encoding = encoding.split(":", 1)
-        key = ("dec", algorithm, encoding)
+        key = (self.line_size, "dec", algorithm, encoding)
         cached = self._cache.get(key)
         if cached is None:
             cached = self._build_decompression(algorithm, encoding)
@@ -304,7 +311,7 @@ class SubroutineLibrary:
         return cached
 
     def compression(self, algorithm: str) -> AssistProgram:
-        key = ("comp", algorithm, "")
+        key = (self.line_size, "comp", algorithm, "")
         cached = self._cache.get(key)
         if cached is None:
             cached = self._build_compression(algorithm)

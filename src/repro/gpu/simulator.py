@@ -27,6 +27,8 @@ from repro.gpu.warp import BlockContext, WarpContext
 from repro.memory.hierarchy import MemorySystem
 from repro.memory.image import MemoryImage
 
+_INF = float("inf")
+
 
 @dataclass
 class SimulationResult:
@@ -84,8 +86,12 @@ class Simulator:
             config, kernel, assist_regs_per_thread=assist_regs_per_thread
         )
 
-        self._events: list[tuple[int, int, Callable[[], None]]] = []
-        self._event_seq = 0
+        # Events are bucketed per cycle: the heap orders the distinct
+        # cycles and each bucket preserves insertion (schedule) order,
+        # so delivery order matches the old per-event heap while same-
+        # cycle events cost one push/pop instead of one each.
+        self._event_cycles: list[int] = []
+        self._event_buckets: dict[int, list[Callable[[], None]]] = {}
         self._cycle = 0
 
         self.sms = [
@@ -112,8 +118,12 @@ class Simulator:
     def schedule(self, cycle: float, fn: Callable[[], None]) -> None:
         """Run ``fn`` at the start of ``cycle`` (never before next cycle)."""
         when = max(self._cycle + 1, math.ceil(cycle))
-        self._event_seq += 1
-        heapq.heappush(self._events, (when, self._event_seq, fn))
+        bucket = self._event_buckets.get(when)
+        if bucket is None:
+            self._event_buckets[when] = [fn]
+            heapq.heappush(self._event_cycles, when)
+        else:
+            bucket.append(fn)
 
     # ------------------------------------------------------------------
     # Block dispatch
@@ -147,21 +157,25 @@ class Simulator:
         return self._blocks_retired >= self.kernel.n_blocks
 
     def run(self) -> SimulationResult:
-        events = self._events
+        cycles = self._event_cycles
+        buckets = self._event_buckets
+        heappop = heapq.heappop
         sms = self.sms
         truncated = False
         while not self.done:
-            if self._cycle >= self.config.max_cycles:
+            cycle = self._cycle
+            if cycle >= self.config.max_cycles:
                 truncated = True
                 break
-            # Deliver events due this cycle.
-            while events and events[0][0] <= self._cycle:
-                _, _, fn = heapq.heappop(events)
-                fn()
+            # Deliver events due this cycle. Callbacks can only schedule
+            # for cycle+1 or later, so the bucket cannot grow mid-drain.
+            while cycles and cycles[0] <= cycle:
+                for fn in buckets.pop(heappop(cycles)):
+                    fn()
             issued = 0
             for sm in sms:
-                issued += sm.tick(self._cycle)
-            self._cycle += 1
+                issued += sm.tick(cycle)
+            self._cycle = cycle + 1
             if issued == 0:
                 self._fast_forward()
         if self.done:
@@ -178,17 +192,18 @@ class Simulator:
 
     def _fast_forward(self) -> None:
         """Jump to the next time anything can happen."""
-        wake = float("inf")
-        if self._events:
-            wake = float(self._events[0][0])
+        wake = float(self._event_cycles[0]) if self._event_cycles else _INF
+        cycle = self._cycle
         for sm in self.sms:
-            hint = sm.next_wake(self._cycle - 1)
+            hint = sm.next_wake(cycle - 1)
             if hint < wake:
                 wake = hint
-        if wake == float("inf") or wake <= self._cycle:
+                if wake <= cycle:
+                    return
+        if wake == _INF or wake <= cycle:
             return
         target = min(int(wake), self.config.max_cycles)
-        skipped = target - self._cycle
+        skipped = target - cycle
         if skipped <= 0:
             return
         for sm in self.sms:

@@ -122,17 +122,21 @@ class SM:
         """Run one cycle; returns the number of instructions issued."""
         self.now = cycle
         self._wake_hint = _INF
-        if self.caba is not None:
-            self.caba.tick(cycle)
+        caba = self.caba
+        if caba is not None:
+            caba.tick(cycle)
         issued = 0
-        for s in range(self.config.schedulers_per_sm):
+        slots = self.stats.slots
+        last = self._last_slots
+        n_sched = self.config.schedulers_per_sm
+        for s in range(n_sched):
             slot = self._issue_slot(s, cycle)
-            self.stats.slots[slot] += 1
-            self._last_slots[s] = slot
+            slots[slot] += 1
+            last[s] = slot
             if slot is Slot.ACTIVE:
                 issued += 1
-        if self.caba is not None:
-            self.caba.observe(issued, self.config.schedulers_per_sm)
+        if caba is not None:
+            caba.observe(issued, n_sched)
         return issued
 
     def replay_stall(self, skipped: int) -> None:
@@ -152,12 +156,18 @@ class SM:
     # Issue-slot logic
     # ------------------------------------------------------------------
     def _issue_slot(self, s: int, cycle: int) -> Slot:
-        if self.caba is not None and self.caba.issue_high(s, cycle):
+        caba = self.caba
+        if caba is not None and caba.issue_high(s, cycle):
             return Slot.ACTIVE
 
         saw_mem = saw_alu = saw_dep = False
         current = self._current[s] if self._greedy else None
-        if current is not None and current.can_consider():
+        # can_consider() is inlined as attribute checks below: this is
+        # the hottest loop in the simulator and the method-call overhead
+        # dominated it under profile.
+        if current is not None and not (
+            current.finished or current.at_barrier or current.assist_block
+        ):
             # GTO: stay greedy on the current warp until it stalls.
             status = self._try_issue(current, cycle)
             if status == _OK:
@@ -167,23 +177,44 @@ class SM:
             saw_mem |= status == _STRUCT_MEM
         warps = self.sched_warps[s]
         n = len(warps)
-        start = 0 if self._greedy else self._rr[s] % max(1, n)
-        for k in range(n):
-            warp = warps[(start + k) % n]
-            if warp is current or not warp.can_consider():
-                continue
-            status = self._try_issue(warp, cycle)
-            if status == _OK:
-                self._current[s] = warp
-                if not self._greedy:
+        if self._greedy:
+            for warp in warps:
+                if (
+                    warp is current
+                    or warp.finished
+                    or warp.at_barrier
+                    or warp.assist_block
+                ):
+                    continue
+                status = self._try_issue(warp, cycle)
+                if status == _OK:
+                    self._current[s] = warp
+                    return Slot.ACTIVE
+                saw_dep |= status == _DEP
+                saw_alu |= status == _STRUCT_ALU
+                saw_mem |= status == _STRUCT_MEM
+        else:
+            start = self._rr[s] % max(1, n)
+            for k in range(n):
+                warp = warps[(start + k) % n]
+                if (
+                    warp is current
+                    or warp.finished
+                    or warp.at_barrier
+                    or warp.assist_block
+                ):
+                    continue
+                status = self._try_issue(warp, cycle)
+                if status == _OK:
+                    self._current[s] = warp
                     # LRR: next cycle starts after the warp that issued.
                     self._rr[s] = (start + k + 1) % max(1, n)
-                return Slot.ACTIVE
-            saw_dep |= status == _DEP
-            saw_alu |= status == _STRUCT_ALU
-            saw_mem |= status == _STRUCT_MEM
+                    return Slot.ACTIVE
+                saw_dep |= status == _DEP
+                saw_alu |= status == _STRUCT_ALU
+                saw_mem |= status == _STRUCT_MEM
 
-        if self.caba is not None and self.caba.issue_low(s, cycle):
+        if caba is not None and caba.issue_low(s, cycle):
             return Slot.ACTIVE
         if saw_mem:
             return Slot.MEMORY_STALL
@@ -207,7 +238,14 @@ class SM:
         elif kind is OpKind.SFU:
             status = self._issue_sfu(warp, instr, cycle)
         elif kind is OpKind.LOAD or kind is OpKind.STORE:
-            status = self._issue_memory(warp, instr, cycle)
+            # _issue_memory's dispatch, inlined: replayed (stalled)
+            # memory instructions dominate this path.
+            if instr.space is not MemSpace.GLOBAL:
+                status = self._issue_onchip_memory(warp, instr, cycle)
+            elif kind is OpKind.LOAD:
+                status = self._issue_global_load(warp, instr, cycle)
+            else:
+                status = self._issue_global_store(warp, instr, cycle)
         elif kind is OpKind.SYNC:
             status = self._issue_sync(warp, cycle)
         elif kind is OpKind.MEMO:
@@ -226,8 +264,8 @@ class SM:
         return status
 
     def _count_regs(self, instr: Instr) -> None:
-        self.stats.register_reads += bin(instr.src_mask).count("1")
-        self.stats.register_writes += bin(instr.dst_mask).count("1")
+        self.stats.register_reads += instr.src_mask.bit_count()
+        self.stats.register_writes += instr.dst_mask.bit_count()
 
     # --- ALU / SFU ---------------------------------------------------
     def _issue_alu(self, ctx, instr: Instr, cycle: int) -> int:
@@ -286,10 +324,22 @@ class SM:
         if self._lsu_free > cycle:
             self._wake_hint = min(self._wake_hint, self._lsu_free)
             return _STRUCT_MEM
-        lines = self._coalesce(instr, warp)
-        if not all(self.memory.mshr_available(self.sm_id, line) for line in lines):
-            # MSHRs free up via fill events, which also end fast-forwards.
+        memory = self.memory
+        sm_id = self.sm_id
+        epoch = memory.mshr_epoch[sm_id]
+        if warp.mshr_fail_epoch == epoch and warp.coal_key == (
+            warp.pc, warp.iteration
+        ):
+            # Same instruction, MSHR state untouched since the last
+            # failed attempt: the pre-check below would fail again.
             return _STRUCT_MEM
+        lines = self._coalesce(instr, warp)
+        for line in lines:
+            if not memory.mshr_available(sm_id, line):
+                # MSHRs free up via fill events, which also end
+                # fast-forwards.
+                warp.mshr_fail_epoch = epoch
+                return _STRUCT_MEM
         fills = []
         for line in lines:
             fill = self.memory.load(self.sm_id, line, cycle)

@@ -32,6 +32,7 @@ class WarpContext:
         "sched",
         "coal_key",
         "coal_lines",
+        "mshr_fail_epoch",
     )
 
     def __init__(
@@ -56,6 +57,9 @@ class WarpContext:
         #: their line list instead of regenerating addresses.
         self.coal_key: tuple[int, int] | None = None
         self.coal_lines: list[int] = []
+        #: MSHR epoch at which this warp's current load last failed the
+        #: MSHR pre-check; the SM skips the retry until the epoch moves.
+        self.mshr_fail_epoch = -1
 
     # ------------------------------------------------------------------
     @property

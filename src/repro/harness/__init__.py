@@ -1,10 +1,13 @@
 """Experiment harnesses: one function per paper table/figure."""
 
 from repro.harness import figures
+from repro.harness.cache import RunCache, get_cache
 from repro.harness.figures import FigureResult
+from repro.harness.parallel import ExperimentEngine, configure, run_specs
 from repro.harness.report import print_figure, render_table
 from repro.harness.runner import (
     RunResult,
+    RunSpec,
     build_image,
     clear_caches,
     geomean,
@@ -13,14 +16,20 @@ from repro.harness.runner import (
 )
 
 __all__ = [
+    "ExperimentEngine",
     "FigureResult",
+    "RunCache",
     "RunResult",
+    "RunSpec",
     "build_image",
     "clear_caches",
+    "configure",
     "figures",
     "geomean",
+    "get_cache",
     "print_figure",
     "render_table",
     "run_app",
+    "run_specs",
     "speedup",
 ]

@@ -1,0 +1,182 @@
+"""Persistent, content-addressed run cache.
+
+Every ``(app, design, config, scale, params)`` run of the simulator is
+fully deterministic, so its :class:`~repro.harness.runner.RunResult` can
+be reused across processes and CI runs. The cache keys each run by a
+SHA-256 over
+
+* the canonical ``repr`` of the run spec (all spec components are frozen
+  dataclasses with stable reprs), and
+* a *version stamp*: a hash of the source of every module in the
+  ``repro`` package.
+
+The stamp makes invalidation automatic — any change to the simulator,
+the compressors, the workload generators or the energy model produces a
+different stamp, so stale entries are simply never looked up again
+(``repro cache clear`` removes them from disk).
+
+Layout: one pickle per run under ``<root>/<stamp-prefix>/<key>.pkl``.
+Writes are atomic (temp file + rename), so concurrent workers of the
+parallel engine can share one cache directory safely.
+
+Knobs (also documented in README.md):
+
+* ``REPRO_CACHE_DIR`` — cache root (default ``~/.cache/repro-caba``).
+* ``REPRO_CACHE=0`` — disable the persistent cache entirely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+
+#: Bump manually on cache-format changes (key scheme, pickle layout).
+CACHE_FORMAT = 1
+
+_version_stamp: str | None = None
+
+
+def _iter_package_sources() -> list[Path]:
+    package_root = Path(__file__).resolve().parent.parent
+    return sorted(package_root.rglob("*.py"))
+
+
+def version_stamp() -> str:
+    """Hash of the whole ``repro`` package source (computed once)."""
+    global _version_stamp
+    if _version_stamp is None:
+        digest = hashlib.sha256(f"format:{CACHE_FORMAT}".encode())
+        for path in _iter_package_sources():
+            digest.update(path.name.encode())
+            digest.update(path.read_bytes())
+        _version_stamp = digest.hexdigest()[:16]
+    return _version_stamp
+
+
+def cache_enabled() -> bool:
+    return os.environ.get("REPRO_CACHE", "1") != "0"
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro-caba"
+
+
+class RunCache:
+    """On-disk store of raw-free :class:`RunResult` pickles."""
+
+    def __init__(self, root: Path | str | None = None,
+                 stamp: str | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.stamp = stamp if stamp is not None else version_stamp()
+
+    # ------------------------------------------------------------------
+    # Keys
+    # ------------------------------------------------------------------
+    def key(self, spec) -> str:
+        """Content address of one run spec under the current stamp."""
+        payload = f"{self.stamp}|{spec.canonical()}"
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / self.stamp / f"{key}.pkl"
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def get(self, spec):
+        """Cached RunResult for ``spec``, or None."""
+        path = self._path(self.key(spec))
+        try:
+            with open(path, "rb") as fh:
+                return pickle.load(fh)
+        except Exception:
+            # A truncated or corrupted entry must read as a miss, never
+            # take the run down; pickle.load on garbage bytes can raise
+            # nearly any exception type, not just PickleError.
+            return None
+
+    def put(self, spec, result) -> None:
+        """Persist ``result`` (which must not carry ``raw`` state)."""
+        if result.raw is not None:
+            raise ValueError("refusing to persist a RunResult with raw "
+                             "simulation state; strip it first")
+        path = self._path(self.key(spec))
+        if path.exists():
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def info(self) -> dict:
+        """Entry counts and sizes, split current-stamp vs. stale."""
+        current = stale = 0
+        total_bytes = 0
+        if self.root.exists():
+            for path in self.root.rglob("*.pkl"):
+                total_bytes += path.stat().st_size
+                if path.parent.name == self.stamp:
+                    current += 1
+                else:
+                    stale += 1
+        return {
+            "root": str(self.root),
+            "stamp": self.stamp,
+            "entries": current,
+            "stale_entries": stale,
+            "total_bytes": total_bytes,
+        }
+
+    def clear(self) -> int:
+        """Delete every cached entry (all stamps); returns entries removed."""
+        removed = 0
+        if not self.root.exists():
+            return 0
+        for path in self.root.rglob("*.pkl"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        for sub in sorted(self.root.glob("*/"), reverse=True):
+            try:
+                sub.rmdir()
+            except OSError:
+                pass
+        return removed
+
+
+_default_cache: RunCache | None = None
+
+
+def get_cache() -> RunCache | None:
+    """Process-wide cache handle, or None when disabled."""
+    global _default_cache
+    if not cache_enabled():
+        return None
+    if _default_cache is None:
+        _default_cache = RunCache()
+    return _default_cache
+
+
+def reset_cache_handle() -> None:
+    """Drop the memoized handle (re-reads env vars on next use)."""
+    global _default_cache
+    _default_cache = None

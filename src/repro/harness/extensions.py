@@ -27,7 +27,8 @@ from repro.gpu.isa import Instr, MemSpace, OpKind, Program, reg_mask
 from repro.gpu.kernel import Kernel
 from repro.gpu.simulator import SimulationResult, Simulator
 from repro.harness.figures import FigureResult
-from repro.harness.runner import run_app
+from repro.harness.parallel import run_specs
+from repro.harness.runner import RunSpec
 from repro.memory.image import MemoryImage
 
 _M64 = (1 << 64) - 1
@@ -270,12 +271,18 @@ def md_cache_sweep(
         title="MD-cache capacity sweep (Section 4.3.2)",
         columns=["size_kb", "avg_hit_rate", "geomean_speedup"],
     )
+    specs = []
     for size_kb in sizes_kb:
         cfg = _replace(config, md_cache_size=size_kb * 1024)
+        for app in apps:
+            specs.append(RunSpec(app, designs.base(), cfg))
+            specs.append(RunSpec(app, designs.caba(), cfg))
+    runs = iter(run_specs(specs))
+    for size_kb in sizes_kb:
         rates, speedups = [], []
         for app in apps:
-            base = run_app(app, designs.base(), cfg)
-            caba = run_app(app, designs.caba(), cfg)
+            base = next(runs)
+            caba = next(runs)
             if caba.md_cache_hit_rate is not None:
                 rates.append(caba.md_cache_hit_rate)
             speedups.append(caba.ipc / base.ipc if base.ipc else 0.0)
@@ -309,12 +316,19 @@ def scheduler_study(
         title="Warp scheduler sensitivity (GTO vs. LRR)",
         columns=["scheduler", "geomean_base_ipc", "geomean_caba_speedup"],
     )
-    for policy in ("gto", "lrr"):
+    policies = ("gto", "lrr")
+    specs = []
+    for policy in policies:
         cfg = _replace(config, scheduler=policy)
+        for app in apps:
+            specs.append(RunSpec(app, designs.base(), cfg))
+            specs.append(RunSpec(app, designs.caba(), cfg))
+    runs = iter(run_specs(specs))
+    for policy in policies:
         ipcs, speedups = [], []
         for app in apps:
-            base = run_app(app, designs.base(), cfg)
-            caba = run_app(app, designs.caba(), cfg)
+            base = next(runs)
+            caba = next(runs)
             ipcs.append(base.ipc)
             speedups.append(caba.ipc / base.ipc if base.ipc else 0.0)
         result.rows.append({
@@ -362,21 +376,30 @@ def ablation_study(
 
     if only is not None:
         variants = [(l, p) for l, p in variants if l in set(only)]
-    for label, params in variants:
-        speedups = []
-        compressed = uncompressed = 0
-        point = (
+
+    def variant_point(label):
+        return (
             designs.caba_l2_uncompressed()
             if label == "l2_uncompressed"
             else designs.caba()
         )
+
+    specs = []
+    for label, params in variants:
+        point = variant_point(label)
         for app in apps:
-            base = run_app(app, designs.base(), config)
-            run = run_app(app, point, config, caba_params=params)
+            specs.append(RunSpec(app, designs.base(), config))
+            specs.append(RunSpec(app, point, config, params=params))
+    runs = iter(run_specs(specs))
+    for label, params in variants:
+        speedups = []
+        compressed = uncompressed = 0
+        for app in apps:
+            base = next(runs)
+            run = next(runs)
             speedups.append(run.ipc / base.ipc if base.ipc else 0.0)
-            stats = run.raw.memory.stats
-            compressed += stats.lines_compressed
-            uncompressed += max(0, stats.l1_stores - stats.lines_compressed)
+            compressed += run.lines_compressed
+            uncompressed += max(0, run.l1_stores - run.lines_compressed)
         total_stores = compressed + uncompressed
         frac = compressed / total_stores if total_stores else 0.0
         result.rows.append({

@@ -23,7 +23,8 @@ from repro.gpu.config import GPUConfig
 from repro.gpu.kernel import Kernel
 from repro.gpu.occupancy import compute_occupancy
 from repro.gpu.stats import SLOT_LABELS, Slot
-from repro.harness.runner import RunResult, geomean, run_app
+from repro.harness.parallel import run_specs
+from repro.harness.runner import RunResult, RunSpec, geomean
 from repro.workloads.apps import (
     COMPRESSION_APPS,
     FIGURE1_APPS,
@@ -68,11 +69,14 @@ def fig1_cycle_breakdown(
         columns=columns,
     )
     memory_stall_fracs: dict[float, list[float]] = {s: [] for s in bw_scales}
+    runs = iter(run_specs([
+        RunSpec(name, designs.base(), config.with_bandwidth_scale(scale))
+        for name in apps for scale in bw_scales
+    ]))
     for name in apps:
         app = get_app(name)
         for scale in bw_scales:
-            run = run_app(name, designs.base(),
-                          config.with_bandwidth_scale(scale))
+            run = next(runs)
             row = {
                 "app": name,
                 "category": app.category,
@@ -169,12 +173,18 @@ def _design_study(
     apps: Sequence[str],
     points: Sequence[DesignPoint],
 ) -> dict[str, dict[str, RunResult]]:
-    """Run every app under every design; results keyed [app][design]."""
+    """Run every app under every design; results keyed [app][design].
+
+    The full (app x design) matrix is enumerated up front and submitted
+    through the shared parallel engine, so independent points simulate
+    concurrently when the engine has workers."""
+    results = run_specs([
+        RunSpec(name, point, config) for name in apps for point in points
+    ])
     table: dict[str, dict[str, RunResult]] = {}
+    it = iter(results)
     for name in apps:
-        table[name] = {
-            point.name: run_app(name, point, config) for point in points
-        }
+        table[name] = {point.name: next(it) for point in points}
     return table
 
 
@@ -333,11 +343,15 @@ def fig10_algorithms(
         columns=["app"] + [labels[a] for a in algorithms],
     )
     per_algo: dict[str, list[float]] = {a: [] for a in algorithms}
+    points = [designs.base()] + [designs.caba(a) for a in algorithms]
+    runs = iter(run_specs([
+        RunSpec(app, point, config) for app in apps for point in points
+    ]))
     for app in apps:
-        base = run_app(app, designs.base(), config)
+        base = next(runs)
         row = {"app": app}
         for algo in algorithms:
-            run = run_app(app, designs.caba(algo), config)
+            run = next(runs)
             speedup = run.ipc / base.ipc if base.ipc else 0.0
             row[labels[algo]] = speedup
             per_algo[algo].append(speedup)
@@ -421,13 +435,21 @@ def fig12_bw_sensitivity(
     )
     # Normalize against 1x-Base, as the paper does.
     per_label: dict[str, list[float]] = {}
+    specs = []
     for app in apps:
-        ref = run_app(app, designs.base(), config.with_bandwidth_scale(1.0))
+        specs.append(RunSpec(app, designs.base(),
+                             config.with_bandwidth_scale(1.0)))
+        for scale, _, _ in labels:
+            scaled = config.with_bandwidth_scale(scale)
+            specs.append(RunSpec(app, designs.base(), scaled))
+            specs.append(RunSpec(app, designs.caba(algorithm), scaled))
+    runs = iter(run_specs(specs))
+    for app in apps:
+        ref = next(runs)
         row = {"app": app}
         for scale, base_label, caba_label in labels:
-            scaled = config.with_bandwidth_scale(scale)
-            b = run_app(app, designs.base(), scaled)
-            c = run_app(app, designs.caba(algorithm), scaled)
+            b = next(runs)
+            c = next(runs)
             row[base_label] = b.ipc / ref.ipc if ref.ipc else 0.0
             row[caba_label] = c.ipc / ref.ipc if ref.ipc else 0.0
             per_label.setdefault(base_label, []).append(row[base_label])
@@ -466,11 +488,14 @@ def fig13_cache_compression(
         columns=["app"] + names,
     )
     per_design: dict[str, list[float]] = {n: [] for n in names}
+    runs = iter(run_specs([
+        RunSpec(app, point, config) for app in apps for point in points
+    ]))
     for app in apps:
-        baseline = run_app(app, points[0], config)
+        by_point = [next(runs) for _ in points]
+        baseline = by_point[0]
         row = {"app": app}
-        for point in points:
-            run = run_app(app, point, config)
+        for point, run in zip(points, by_point):
             rel = run.ipc / baseline.ipc if baseline.ipc else 0.0
             row[point.name] = rel
             per_design[point.name].append(rel)
@@ -529,8 +554,11 @@ def md_cache_study(
         columns=["app", "md_hit_rate"],
     )
     rates = []
+    runs = iter(run_specs([
+        RunSpec(app, designs.caba(algorithm), config) for app in apps
+    ]))
     for app in apps:
-        run = run_app(app, designs.caba(algorithm), config)
+        run = next(runs)
         if run.md_cache_hit_rate is None:
             continue
         rates.append(run.md_cache_hit_rate)

@@ -1,0 +1,142 @@
+"""Parallel experiment engine: fan a run matrix out over processes.
+
+Every ``(app, design, config)`` point of the paper's experiment matrix
+is independent and fully deterministic, so the figure harnesses simply
+enumerate their :class:`~repro.harness.runner.RunSpec` lists up front
+and submit them here. The engine
+
+1. deduplicates the specs (the Figure 7/8/9 studies share most runs),
+2. resolves what it can from the in-process memo and the persistent
+   on-disk cache (:mod:`repro.harness.cache`),
+3. ships the remaining specs to a ``ProcessPoolExecutor``, and
+4. records each worker result back into both cache layers.
+
+``jobs=1`` (the default) bypasses the pool entirely and simulates
+inline, preserving the exact serial behavior. Worker processes also
+consult/populate the shared persistent cache themselves, so a crashed
+or interrupted matrix loses no completed work.
+
+Knobs: ``--jobs N`` on the driver scripts, or ``REPRO_JOBS`` in the
+environment (picked up when no explicit job count is configured).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Iterable, Sequence
+
+from repro.harness import runner
+from repro.harness.runner import RunResult, RunSpec
+
+
+def default_jobs() -> int:
+    """Worker count from ``REPRO_JOBS``; 1 (serial) when unset/invalid."""
+    env = os.environ.get("REPRO_JOBS", "")
+    try:
+        return max(1, int(env))
+    except ValueError:
+        return 1
+
+
+def _worker_run(spec: RunSpec) -> RunResult:
+    """Top-level (picklable) pool entry point: one spec, raw-free result."""
+    return runner.run_spec(spec)
+
+
+class ExperimentEngine:
+    """Shared executor for experiment matrices.
+
+    Args:
+        jobs: Worker processes. ``None`` reads ``REPRO_JOBS``; ``1``
+            keeps everything in-process (serial fallback).
+    """
+
+    def __init__(self, jobs: int | None = None) -> None:
+        self.jobs = jobs if jobs is not None else default_jobs()
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        self._pool: ProcessPoolExecutor | None = None
+
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "ExperimentEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def run(self, spec: RunSpec) -> RunResult:
+        return self.run_many([spec])[0]
+
+    def run_many(self, specs: Iterable[RunSpec]) -> list[RunResult]:
+        """Execute ``specs``; the result list is aligned with the input
+        order (duplicates resolve to the same result object)."""
+        ordered = list(specs)
+        if self.jobs <= 1:
+            return [runner.run_spec(spec) for spec in ordered]
+
+        resolved: dict[RunSpec, RunResult] = {}
+        pending: list[RunSpec] = []
+        seen: set[RunSpec] = set()
+        for spec in ordered:
+            if spec in seen:
+                continue
+            seen.add(spec)
+            hit = runner.cached_result(spec)
+            if hit is not None:
+                resolved[spec] = hit
+            else:
+                pending.append(spec)
+
+        if pending:
+            pool = self._ensure_pool()
+            for spec, result in zip(pending, pool.map(_worker_run, pending)):
+                runner.record_result(spec, result)
+                resolved[spec] = result
+        return [resolved[spec] for spec in ordered]
+
+
+# ----------------------------------------------------------------------
+# Shared default engine (what the figure harnesses submit through)
+# ----------------------------------------------------------------------
+_engine: ExperimentEngine | None = None
+
+
+def get_engine() -> ExperimentEngine:
+    global _engine
+    if _engine is None:
+        _engine = ExperimentEngine()
+    return _engine
+
+
+def configure(jobs: int | None) -> ExperimentEngine:
+    """Install a fresh default engine with ``jobs`` workers."""
+    global _engine
+    if _engine is not None:
+        _engine.close()
+    _engine = ExperimentEngine(jobs=jobs)
+    return _engine
+
+
+def shutdown() -> None:
+    """Tear down the default engine's pool (idempotent)."""
+    global _engine
+    if _engine is not None:
+        _engine.close()
+        _engine = None
+
+
+def run_specs(specs: Sequence[RunSpec]) -> list[RunResult]:
+    """Run ``specs`` through the shared default engine."""
+    return get_engine().run_many(specs)

@@ -2,15 +2,25 @@
 
 Wires the full stack together — workload trace, compressed memory image,
 CABA controllers, simulator, energy model — and returns a
-:class:`RunResult` with every metric the paper's figures report. Results
-are memoized per process so the Figure 7/8/9 harnesses (which share the
-same runs) only simulate each point once; baseline compression sizes are
-also shared across designs of the same (app, algorithm) pair.
+:class:`RunResult` with every metric the paper's figures report.
+
+Caching happens at two levels. Results are memoized per process (the
+Figure 7/8/9 harnesses share runs, so each point simulates once), and —
+because every run is fully deterministic — raw-free results are also
+persisted to a content-addressed on-disk cache
+(:mod:`repro.harness.cache`) keyed by the run spec plus a source-code
+version stamp, so repeated benchmark/CI invocations skip simulation
+entirely. Baseline compression sizes are shared across designs of the
+same (app, algorithm) pair.
+
+A :class:`RunSpec` is the picklable identity of one run; it is both the
+cache key and the unit of work the parallel engine
+(:mod:`repro.harness.parallel`) ships to worker processes.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable
 
 from repro.compression import make_algorithm
@@ -22,10 +32,32 @@ from repro.energy.model import EnergyBreakdown, EnergyModel
 from repro.gpu.config import GPUConfig
 from repro.gpu.simulator import SimulationResult, Simulator
 from repro.gpu.stats import Slot
+from repro.harness import cache as run_cache_store
 from repro.memory.image import LineInfo, MemoryImage
 from repro.workloads.apps import AppProfile, get_app
 from repro.workloads.data_patterns import make_line_generator
 from repro.workloads.tracegen import TraceScale, build_kernel
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Picklable identity of one simulation run.
+
+    Every field is a frozen dataclass (or string) with a deterministic
+    ``repr``, which makes the spec hashable, process-portable and usable
+    as a stable content address for the persistent cache.
+    """
+
+    app: str
+    design: DesignPoint
+    config: GPUConfig
+    scale: TraceScale = field(default_factory=TraceScale)
+    params: CabaParams = field(default_factory=CabaParams)
+
+    def canonical(self) -> str:
+        """Stable serialization used for content addressing."""
+        return repr((self.app, self.design, self.config,
+                     self.scale, self.params))
 
 
 @dataclass
@@ -47,7 +79,14 @@ class RunResult:
     l2_hit_rate: float
     truncated: bool
     occupancy_blocks: int
-    raw: SimulationResult = field(repr=False, default=None)
+    #: Store-path counters (kept on the slim result so the ablation and
+    #: example studies do not need the raw simulation state).
+    lines_compressed: int = 0
+    l1_stores: int = 0
+    rmw_reads: int = 0
+    #: Full simulation state; only populated for ``keep_raw=True`` runs
+    #: and never persisted (it holds the whole memory system).
+    raw: SimulationResult | None = field(repr=False, default=None)
 
     @property
     def energy_total(self) -> float:
@@ -56,13 +95,15 @@ class RunResult:
 
 # Per-process caches.
 _line_info_caches: dict[tuple, dict[int, LineInfo]] = {}
-_run_cache: dict[tuple, RunResult] = {}
+_run_cache: dict[RunSpec, RunResult] = {}
 
 
 def clear_caches() -> None:
-    """Drop memoized runs and compression size caches (mainly for tests)."""
+    """Drop memoized runs, compression size caches and the persistent
+    cache handle (mainly for tests; the on-disk entries survive)."""
     _line_info_caches.clear()
     _run_cache.clear()
+    run_cache_store.reset_cache_handle()
 
 
 def _resolve_app(app: str | AppProfile) -> AppProfile:
@@ -116,37 +157,10 @@ def _make_caba_factory(
     return factory, library.register_demand(design.algorithm)
 
 
-def run_app(
-    app: str | AppProfile,
-    design: DesignPoint,
-    config: GPUConfig | None = None,
-    scale: TraceScale = TraceScale(),
-    caba_params: CabaParams | None = None,
-    use_cache: bool = True,
-) -> RunResult:
-    """Simulate one application under one design point.
-
-    Args:
-        app: Application name (see ``repro.workloads.APPLICATIONS``) or a
-            profile object.
-        design: Compression design point.
-        config: Machine configuration; defaults to ``GPUConfig.small()``
-            so casual calls stay fast. Use ``GPUConfig()`` for Table 1.
-        scale: Workload scaling.
-        caba_params: CABA framework knobs (CABA designs only).
-        use_cache: Reuse memoized results for identical runs.
-    """
-    profile = _resolve_app(app)
-    if config is None:
-        config = GPUConfig.small()
-    params = caba_params if caba_params is not None else CabaParams()
-
-    cache_key = None
-    if use_cache:
-        cache_key = (profile.name, design, config, scale, params)
-        cached = _run_cache.get(cache_key)
-        if cached is not None:
-            return cached
+def _simulate(profile: AppProfile, spec: RunSpec) -> RunResult:
+    """Execute one run; the returned result carries the raw state."""
+    design = spec.design
+    config = spec.config
 
     # Profiling gate (Section 4.3.1): incompressible apps run the
     # baseline path even under compression designs.
@@ -157,9 +171,9 @@ def run_app(
         effective_design = base_design()
 
     image = build_image(profile, effective_design, config)
-    kernel = build_kernel(profile, config, scale)
+    kernel = build_kernel(profile, config, spec.scale)
     caba_factory, assist_regs = _make_caba_factory(
-        effective_design, config, params
+        effective_design, config, spec.params
     )
     simulator = Simulator(
         config,
@@ -173,8 +187,9 @@ def run_app(
     energy = EnergyModel().evaluate(sim_result, config, effective_design)
 
     memory = sim_result.memory
-    l2_accesses = memory.stats.l2_accesses
-    result = RunResult(
+    stats = memory.stats
+    l2_accesses = stats.l2_accesses
+    return RunResult(
         app=profile.name,
         design=design.name,
         cycles=sim_result.cycles,
@@ -187,14 +202,116 @@ def run_app(
         slot_breakdown=sim_result.stats.slot_breakdown(),
         md_cache_hit_rate=memory.md_cache_hit_rate(),
         dram_bursts=memory.dram_bursts(),
-        l2_hit_rate=(memory.stats.l2_hits / l2_accesses if l2_accesses else 0.0),
+        l2_hit_rate=(stats.l2_hits / l2_accesses if l2_accesses else 0.0),
         truncated=sim_result.truncated,
         occupancy_blocks=sim_result.occupancy.blocks_per_sm,
+        lines_compressed=stats.lines_compressed,
+        l1_stores=stats.l1_stores,
+        rmw_reads=stats.rmw_reads,
         raw=sim_result,
     )
-    if cache_key is not None:
-        _run_cache[cache_key] = result
-    return result
+
+
+def cached_result(spec: RunSpec) -> RunResult | None:
+    """Look up ``spec`` in the in-process memo and the persistent cache
+    without simulating. Used by the parallel engine to pre-resolve work."""
+    cached = _run_cache.get(spec)
+    if cached is not None:
+        return cached
+    disk = run_cache_store.get_cache()
+    if disk is not None:
+        hit = disk.get(spec)
+        if hit is not None:
+            _run_cache[spec] = hit
+            return hit
+    return None
+
+
+def record_result(spec: RunSpec, result: RunResult) -> None:
+    """Integrate an externally computed (e.g. pool-worker) result into
+    the in-process memo and the persistent cache."""
+    slim = result if result.raw is None else replace(result, raw=None)
+    _run_cache[spec] = slim
+    disk = run_cache_store.get_cache()
+    if disk is not None:
+        disk.put(spec, slim)
+
+
+def run_spec(
+    spec: RunSpec,
+    use_cache: bool = True,
+    keep_raw: bool = False,
+    profile: AppProfile | None = None,
+    persist: bool = True,
+) -> RunResult:
+    """Simulate (or recall) one :class:`RunSpec`.
+
+    ``profile`` overrides registry lookup (custom workloads); such runs
+    set ``persist=False`` since an unregistered profile's name is not a
+    sound content address across processes.
+    """
+    if use_cache:
+        cached = _run_cache.get(spec)
+        if cached is not None and (cached.raw is not None or not keep_raw):
+            return cached
+        if persist and not keep_raw:
+            hit = cached_result(spec)
+            if hit is not None:
+                return hit
+
+    if profile is None:
+        profile = _resolve_app(spec.app)
+    result = _simulate(profile, spec)
+    slim = replace(result, raw=None)
+    if use_cache:
+        # The memo keeps raw state only for opt-in keep_raw runs; the
+        # on-disk cache never stores it.
+        _run_cache[spec] = result if keep_raw else slim
+        if persist:
+            disk = run_cache_store.get_cache()
+            if disk is not None:
+                disk.put(spec, slim)
+    return result if keep_raw else slim
+
+
+def run_app(
+    app: str | AppProfile,
+    design: DesignPoint,
+    config: GPUConfig | None = None,
+    scale: TraceScale = TraceScale(),
+    caba_params: CabaParams | None = None,
+    use_cache: bool = True,
+    keep_raw: bool = False,
+) -> RunResult:
+    """Simulate one application under one design point.
+
+    Args:
+        app: Application name (see ``repro.workloads.APPLICATIONS``) or a
+            profile object.
+        design: Compression design point.
+        config: Machine configuration; defaults to ``GPUConfig.small()``
+            so casual calls stay fast. Use ``GPUConfig()`` for Table 1.
+        scale: Workload scaling.
+        caba_params: CABA framework knobs (CABA designs only).
+        use_cache: Reuse memoized/persisted results for identical runs.
+        keep_raw: Attach the full :class:`SimulationResult` to the
+            returned result. Raw state is big (it holds the memory
+            system), so it is opt-in and never cached on disk.
+    """
+    profile = _resolve_app(app)
+    spec = RunSpec(
+        app=profile.name,
+        design=design,
+        config=config if config is not None else GPUConfig.small(),
+        scale=scale,
+        params=caba_params if caba_params is not None else CabaParams(),
+    )
+    try:
+        registered = get_app(profile.name) == profile
+    except KeyError:
+        registered = False
+    return run_spec(spec, use_cache=use_cache, keep_raw=keep_raw,
+                    profile=profile, persist=registered)
 
 
 def speedup(result: RunResult, baseline: RunResult) -> float:

@@ -91,6 +91,9 @@ class MemorySystem:
             {} for _ in range(config.n_sms)
         ]
         self._mshr_used = [0] * config.n_sms
+        #: Bumped whenever an SM's MSHR/in-flight state changes; lets the
+        #: SM skip re-checking a stalled load until something changed.
+        self.mshr_epoch = [0] * config.n_sms
 
         self.crossbar = Crossbar(
             config.n_mcs, latency=config.icnt_latency,
@@ -256,6 +259,7 @@ class MemorySystem:
         fill = self._miss_path(sm_id, line, now)
         self._mshr_used[sm_id] += 1
         self._inflight[sm_id][line] = fill
+        self.mshr_epoch[sm_id] += 1
         size, _ = self._stored_size(line)
         self._cache_access(l1, line, self._l1_fill_size(size), False)
         return fill
@@ -339,6 +343,7 @@ class MemorySystem:
         """Release the MSHR tracking ``line`` (called at fill time)."""
         if self._inflight[sm_id].pop(line, None) is not None:
             self._mshr_used[sm_id] -= 1
+            self.mshr_epoch[sm_id] += 1
 
     # ------------------------------------------------------------------
     # Store path

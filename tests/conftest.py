@@ -1,0 +1,20 @@
+"""Global test configuration.
+
+Points the persistent run cache at a session-scoped temporary directory
+so tests never read from or write to the user's real cache (and never
+see entries from earlier sessions), keeping every caching assertion
+hermetic.
+"""
+
+import os
+
+import pytest
+
+from repro.harness.runner import clear_caches
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_run_cache(tmp_path_factory):
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("run-cache"))
+    clear_caches()  # drop any handle built against the old directory
+    yield

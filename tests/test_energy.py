@@ -74,7 +74,7 @@ class TestModelOnRuns:
 
 class TestParams:
     def test_custom_params_change_results(self):
-        run = run_app("PVC", designs.base())
+        run = run_app("PVC", designs.base(), keep_raw=True)
         cheap = EnergyModel(EnergyParams(dram_burst_pj=1.0))
         expensive = EnergyModel(EnergyParams(dram_burst_pj=5000.0))
         config = GPUConfig.small()
