@@ -9,9 +9,18 @@ Measures the three paths the perf work targets:
   generated application lines (the byte-level inner loop).
 * ``subroutines`` — assist-warp subroutine construction cost (the
   per-run `SubroutineLibrary` path).
+* ``plane_build`` — batch ``size_table`` kernels vs. the scalar
+  ``compress()`` loop, per algorithm.
+* ``figure_sweep`` — a cold multi-design figure sweep (three apps x
+  five designs plus the Fig. 11 compression study) with compression
+  planes on vs. off.
 
-Results are merged into ``BENCH_runner.json`` under ``--label`` so the
-perf trajectory (before/after records) is tracked in-repo:
+Simulator results are merged into ``BENCH_runner.json`` under
+``--label``; the compression sections are written to
+``BENCH_compression.json`` and gated against the checked-in baseline —
+the script exits nonzero if the sweep speedup drops below the 2x
+acceptance floor or regresses more than 10% from the baseline. Refresh
+the baseline intentionally with ``--update-baseline``.
 
     python scripts/bench_hot_paths.py --label after
 
@@ -33,9 +42,20 @@ os.environ["REPRO_CACHE"] = "0"
 from repro import design as designs  # noqa: E402
 from repro.compression import make_algorithm  # noqa: E402
 from repro.core.subroutines import SubroutineLibrary  # noqa: E402
-from repro.harness.runner import clear_caches, run_app  # noqa: E402
+from repro.gpu.config import GPUConfig  # noqa: E402
+from repro.harness import figures  # noqa: E402
+from repro.harness.runner import (  # noqa: E402
+    RunSpec,
+    clear_caches,
+    run_app,
+    run_spec,
+)
 from repro.workloads.apps import get_app  # noqa: E402
 from repro.workloads.data_patterns import make_line_generator  # noqa: E402
+from repro.workloads.tracegen import TraceScale  # noqa: E402
+
+SWEEP_APPS = ("PVC", "MM", "CONS")
+SWEEP_ALGORITHMS = ("bdi", "fpc", "cpack", "bestofall")
 
 
 def bench_sim(repeats: int) -> dict:
@@ -103,41 +123,173 @@ def bench_subroutines(repeats: int) -> dict:
     }
 
 
+def bench_plane_build(lines: int, repeats: int) -> dict:
+    """Batch ``size_table`` kernels vs. the scalar compress loop."""
+    line_size = 128
+    gen = make_line_generator(get_app("PVC").data, line_size, seed=7)
+    payloads = [gen(i) for i in range(lines)]
+    out = {}
+    for name in ("bdi", "fpc", "cpack", "fvc"):
+        algo = make_algorithm(name, line_size)
+        scalar = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            for data in payloads:
+                algo.compress(data)
+            scalar = min(scalar, time.perf_counter() - start)
+        batched = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            algo.size_table(payloads)
+            batched = min(batched, time.perf_counter() - start)
+        out[name] = {
+            "lines": lines,
+            "scalar_seconds": round(scalar, 4),
+            "batch_seconds": round(batched, 4),
+            "speedup": round(scalar / batched, 2),
+        }
+    return out
+
+
+def _figure_sweep_once() -> float:
+    """One cold multi-design sweep plus the Fig. 11 compression study."""
+    config = GPUConfig.small()
+    scale = TraceScale(work=0.25, waves=0.25)
+    points = [designs.base()]
+    points += [designs.caba(algo) for algo in SWEEP_ALGORITHMS]
+    start = time.perf_counter()
+    for app in SWEEP_APPS:
+        for point in points:
+            run_spec(RunSpec(app, point, config, scale), use_cache=False)
+    figures.fig11_compression_ratio(apps=SWEEP_APPS, sample_lines=1600)
+    return time.perf_counter() - start
+
+
+def bench_figure_sweep() -> dict:
+    """Cold figure sweep with compression planes off, then on."""
+    prior = os.environ.get("REPRO_PLANES")
+    out = {}
+    try:
+        for mode, flag in (("planes_off", "0"), ("planes_on", "1")):
+            os.environ["REPRO_PLANES"] = flag
+            clear_caches()
+            out[mode] = {"seconds": round(_figure_sweep_once(), 4)}
+    finally:
+        if prior is None:
+            os.environ.pop("REPRO_PLANES", None)
+        else:
+            os.environ["REPRO_PLANES"] = prior
+        clear_caches()
+    out["speedup"] = round(
+        out["planes_off"]["seconds"] / out["planes_on"]["seconds"], 3
+    )
+    return out
+
+
+def check_compression(record: dict, baseline: dict) -> list[str]:
+    """Regression gates for the compression benchmarks."""
+    failures = []
+    sweep = record["figure_sweep"]["speedup"]
+    if sweep < 2.0:
+        failures.append(
+            f"figure-sweep plane speedup {sweep:.2f}x is below the "
+            f"2.0x acceptance floor"
+        )
+    if not baseline:
+        return failures
+    base_sweep = baseline.get("figure_sweep", {}).get("speedup")
+    if base_sweep and sweep < 0.9 * base_sweep:
+        failures.append(
+            f"figure-sweep speedup regressed >10%: "
+            f"{sweep:.2f}x vs baseline {base_sweep:.2f}x"
+        )
+    for name, entry in record["plane_build"].items():
+        base = baseline.get("plane_build", {}).get(name)
+        if base and entry["speedup"] < 0.9 * base["speedup"]:
+            failures.append(
+                f"{name} batch-kernel speedup regressed >10%: "
+                f"{entry['speedup']:.2f}x vs baseline "
+                f"{base['speedup']:.2f}x"
+            )
+    return failures
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--label", default="after",
                         help="record name in BENCH_runner.json")
     parser.add_argument("--out", default="BENCH_runner.json")
+    parser.add_argument("--comp-out", default="BENCH_compression.json")
+    parser.add_argument("--section", choices=("all", "runner", "compression"),
+                        default="all")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the compression baseline record")
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--bdi-lines", type=int, default=4000)
+    parser.add_argument("--plane-lines", type=int, default=4000)
     args = parser.parse_args()
 
-    clear_caches()
-    record = {
-        "python": platform.python_version(),
-        "sim": bench_sim(args.repeats),
-        "bdi": bench_bdi(args.bdi_lines, args.repeats),
-        "subroutines": bench_subroutines(args.repeats),
-    }
+    status = 0
+    if args.section in ("all", "runner"):
+        clear_caches()
+        record = {
+            "python": platform.python_version(),
+            "sim": bench_sim(args.repeats),
+            "bdi": bench_bdi(args.bdi_lines, args.repeats),
+            "subroutines": bench_subroutines(args.repeats),
+        }
 
-    merged = {}
-    if os.path.exists(args.out):
-        with open(args.out) as fh:
-            merged = json.load(fh)
-    merged[args.label] = record
+        merged = {}
+        if os.path.exists(args.out):
+            with open(args.out) as fh:
+                merged = json.load(fh)
+        merged[args.label] = record
 
-    before = merged.get("before", {}).get("sim", {})
-    after = merged.get("after", {}).get("sim", {})
-    for key in sorted(set(before) & set(after)):
-        speedup = before[key]["seconds"] / after[key]["seconds"]
-        merged.setdefault("speedup", {})[key] = round(speedup, 3)
+        before = merged.get("before", {}).get("sim", {})
+        after = merged.get("after", {}).get("sim", {})
+        for key in sorted(set(before) & set(after)):
+            speedup = before[key]["seconds"] / after[key]["seconds"]
+            merged.setdefault("speedup", {})[key] = round(speedup, 3)
 
-    with open(args.out, "w") as fh:
-        json.dump(merged, fh, indent=2)
-        fh.write("\n")
-    print(json.dumps(record, indent=2))
-    print(f"wrote {args.out} [{args.label}]")
-    return 0
+        with open(args.out, "w") as fh:
+            json.dump(merged, fh, indent=2)
+            fh.write("\n")
+        print(json.dumps(record, indent=2))
+        print(f"wrote {args.out} [{args.label}]")
+
+    if args.section in ("all", "compression"):
+        try:
+            from repro.compression import batch
+            numpy_backend = batch.np is not None
+        except ImportError:  # pragma: no cover
+            numpy_backend = False
+        clear_caches()
+        comp = {
+            "python": platform.python_version(),
+            "numpy_backend": numpy_backend,
+            "plane_build": bench_plane_build(args.plane_lines, args.repeats),
+            "figure_sweep": bench_figure_sweep(),
+        }
+
+        stored = {}
+        if os.path.exists(args.comp_out):
+            with open(args.comp_out) as fh:
+                stored = json.load(fh)
+        if args.update_baseline or "baseline" not in stored:
+            stored["baseline"] = comp
+        stored["latest"] = comp
+        with open(args.comp_out, "w") as fh:
+            json.dump(stored, fh, indent=2)
+            fh.write("\n")
+        print(json.dumps(comp, indent=2))
+        print(f"wrote {args.comp_out}")
+
+        failures = check_compression(comp, stored["baseline"])
+        for failure in failures:
+            print(f"REGRESSION: {failure}")
+        if failures:
+            status = 1
+    return status
 
 
 if __name__ == "__main__":

@@ -190,6 +190,9 @@ def _cmd_cache(args) -> int:
         print(f"entries       : {info['entries']}")
         print(f"stale entries : {info['stale_entries']}")
         print(f"total size    : {info['total_bytes'] / 1024:.1f} KiB")
+        print(f"plane entries : {info['plane_entries']} "
+              f"({info['stale_plane_entries']} stale)")
+        print(f"plane size    : {info['plane_bytes'] / 1024:.1f} KiB")
         if not cache_enabled():
             print("note: persistent caching is disabled (REPRO_CACHE=0)")
         return 0

@@ -15,7 +15,7 @@ from __future__ import annotations
 import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Sequence
 
 #: DRAM burst granularity used throughout the paper (GDDR5, Section 4.1.3).
 BURST_BYTES = 32
@@ -28,7 +28,7 @@ class CompressionError(ValueError):
     """Raised when a line cannot be handled by a compression routine."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CompressedLine:
     """The result of compressing one cache line.
 
@@ -106,17 +106,68 @@ class CompressionAlgorithm(ABC):
             )
         self.line_size = line_size
 
-    @abstractmethod
     def compress(self, data: bytes) -> CompressedLine:
         """Compress one cache line worth of bytes.
 
         Never fails: if no encoding applies, the returned line uses the
         ``"uncompressed"`` encoding with ``size_bytes == line_size``.
         """
+        self._check_input(data)
+        return self._compress_line(data)
+
+    @abstractmethod
+    def _compress_line(self, data: bytes) -> CompressedLine:
+        """Single-line compression core; ``data`` is already validated."""
 
     @abstractmethod
     def decompress(self, line: CompressedLine) -> bytes:
         """Reconstruct the exact original bytes of ``line``."""
+
+    # ------------------------------------------------------------------
+    # Batch interface
+    # ------------------------------------------------------------------
+    def compress_lines(
+        self, lines: Sequence[bytes]
+    ) -> list[CompressedLine]:
+        """Compress a batch of lines.
+
+        Input validation is hoisted out of the per-line loop: lengths
+        are checked once for the whole batch, then the unchecked
+        compression core runs per line.
+        """
+        self._check_batch(lines)
+        compress = self._compress_line
+        return [compress(data) for data in lines]
+
+    def size_table(self, lines: Sequence[bytes]) -> list[tuple[int, str]]:
+        """``(size_bytes, encoding)`` of every line in ``lines``.
+
+        This is the timing-only view the simulator's memory model needs
+        (compressed size drives bursts and flits; the bytes themselves
+        do not). Algorithms override :meth:`_size_table` with whole-image
+        kernels — vectorized under numpy, size-only loops in pure
+        Python — that are exactly equivalent to ``compress()``.
+        """
+        self._check_batch(lines)
+        return self._size_table(list(lines))
+
+    def _size_table(self, lines: list[bytes]) -> list[tuple[int, str]]:
+        """Reference batch kernel: one scalar compression per line."""
+        compress = self._compress_line
+        return [
+            (line.size_bytes, line.encoding)
+            for line in map(compress, lines)
+        ]
+
+    def _check_batch(self, lines: Sequence[bytes]) -> None:
+        """Validate a whole batch in one pass (hot loops skip rechecks)."""
+        size = self.line_size
+        for index, data in enumerate(lines):
+            if len(data) != size:
+                raise CompressionError(
+                    f"{self.name}: line {index} has {len(data)} bytes, "
+                    f"expected {size}"
+                )
 
     def _check_input(self, data: bytes) -> None:
         if len(data) != self.line_size:

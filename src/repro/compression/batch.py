@@ -1,0 +1,67 @@
+"""Backend helpers for the batch (whole-image) compression kernels.
+
+The batch kernels in :mod:`repro.compression` compute per-line
+``(size, encoding)`` tables over many cache lines at once. They come in
+two flavours selected here at import time:
+
+* a **numpy backend** that reinterprets the concatenated lines as a
+   2-D unsigned word matrix and classifies all words vectorized, and
+* a **pure-Python backend** (always available) that uses the big-int
+  word-splitting trick and size-only inner loops.
+
+numpy is an optional dependency (``pip install repro[fast]``); when it
+is missing — or explicitly disabled with ``REPRO_NUMPY=0`` — every
+batch kernel falls back to the pure path. Both backends are exact: the
+differential suite (``tests/compression/test_batch_equivalence.py``)
+asserts they match the scalar ``compress()`` reference byte for byte.
+
+Tests monkeypatch the module-level ``np`` to ``None`` to force the pure
+path regardless of the environment.
+"""
+
+from __future__ import annotations
+
+import os
+
+np = None
+if os.environ.get("REPRO_NUMPY", "1") != "0":
+    try:  # pragma: no cover - exercised via both CI legs
+        import numpy as _numpy
+
+        np = _numpy
+    except ImportError:
+        np = None
+
+
+def word_matrix(lines, word_bytes: int):
+    """numpy ``(n_lines, words_per_line)`` unsigned word matrix.
+
+    Only callable when the numpy backend is active; the caller guards on
+    ``batch.np is not None``.
+    """
+    buf = np.frombuffer(b"".join(lines), dtype=np.uint8)
+    return buf.reshape(len(lines), -1).view(f"<u{word_bytes}")
+
+
+def u32_rows(lines) -> list[list[int]]:
+    """Little-endian 32-bit words of every line, as Python ints.
+
+    Uses numpy for the byte-to-word conversion when available (the
+    sequential C-Pack kernel still wants plain ints to run its
+    dictionary logic), otherwise the big-int split.
+    """
+    if not lines:
+        return []
+    if np is not None:
+        buf = np.frombuffer(b"".join(lines), dtype="<u4")
+        return buf.reshape(len(lines), -1).tolist()
+    out = []
+    for data in lines:
+        big = int.from_bytes(data, "little")
+        words = []
+        append = words.append
+        for _ in range(len(data) // 4):
+            append(big & 0xFFFFFFFF)
+            big >>= 32
+        out.append(words)
+    return out

@@ -25,6 +25,7 @@ import math
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.compression import batch
 from repro.compression.base import (
     CompressedLine,
     CompressionAlgorithm,
@@ -131,6 +132,23 @@ def _try_encode(
     )
 
 
+def _fits(words: Sequence[int], delta_bytes: int) -> bool:
+    """Size-only version of :func:`_try_encode`: fit test, no deltas."""
+    bound = 1 << (8 * delta_bytes - 1)
+    neg_bound = -bound
+    base: int | None = None
+    for word in words:
+        if word < bound:
+            continue
+        if base is None:
+            base = word
+            continue
+        delta = word - base
+        if not neg_bound <= delta < bound:
+            return False
+    return True
+
+
 class BdiCompressor(CompressionAlgorithm):
     """Base-Delta-Immediate compressor over one cache line.
 
@@ -159,20 +177,23 @@ class BdiCompressor(CompressionAlgorithm):
                 f"a {line_size}-byte line"
             )
         self.encodings = tuple(encodings)
+        #: (encoding, compressed size) pairs, hoisted out of the per-line
+        #: loops (the sizes depend only on line_size).
+        self._encoding_sizes = tuple(
+            (e, e.compressed_size(line_size)) for e in self.encodings
+        )
 
     # ------------------------------------------------------------------
     # Compression
     # ------------------------------------------------------------------
-    def compress(self, data: bytes) -> CompressedLine:
-        self._check_input(data)
+    def _compress_line(self, data: bytes) -> CompressedLine:
         special = self._try_special(data)
         if special is not None:
             return special
 
         best: CompressedLine | None = None
         splits: dict[int, list[int]] = {}
-        for encoding in self.encodings:
-            size = encoding.compressed_size(self.line_size)
+        for encoding, size in self._encoding_sizes:
             if size >= self.line_size:
                 continue
             if best is not None and size >= best.size_bytes:
@@ -213,6 +234,95 @@ class BdiCompressor(CompressionAlgorithm):
                 state=int.from_bytes(first, "little"),
             )
         return None
+
+    # ------------------------------------------------------------------
+    # Batch size kernels
+    # ------------------------------------------------------------------
+    def _size_table(self, lines: list[bytes]) -> list[tuple[int, str]]:
+        if batch.np is None or not lines:
+            return [self._size_line(data) for data in lines]
+        return self._size_table_numpy(lines)
+
+    def _size_line(self, data: bytes) -> tuple[int, str]:
+        """Size-only single-line kernel (no delta/state materialization)."""
+        if not any(data):
+            return ZEROS_SIZE, "ZEROS"
+        if data == data[:8] * (self.line_size // 8):
+            return REPEAT_SIZE, "REPEAT"
+        best_size = self.line_size
+        best_name = "uncompressed"
+        splits: dict[int, list[int]] = {}
+        for encoding, size in self._encoding_sizes:
+            if size >= best_size:
+                continue
+            words = splits.get(encoding.base_bytes)
+            if words is None:
+                words = _split_words(data, encoding.base_bytes)
+                splits[encoding.base_bytes] = words
+            if _fits(words, encoding.delta_bytes):
+                best_size = size
+                best_name = encoding.name
+        return best_size, best_name
+
+    def _size_table_numpy(self, lines: list[bytes]) -> list[tuple[int, str]]:
+        np = batch.np
+        n = len(lines)
+        line_size = self.line_size
+        buf = np.frombuffer(b"".join(lines), dtype=np.uint8)
+        buf = buf.reshape(n, line_size)
+        nonzero = buf.any(axis=1)
+        repeated = (
+            buf.reshape(n, line_size // 8, 8) == buf[:, None, :8]
+        ).all(axis=(1, 2))
+
+        sizes = np.full(n, line_size, dtype=np.int64)
+        chosen = np.full(n, -1, dtype=np.int64)
+        views: dict[int, object] = {}
+        for index, (encoding, size) in enumerate(self._encoding_sizes):
+            if size >= line_size:
+                continue
+            improves = sizes > size  # strictly-smaller-wins, in order
+            words = views.get(encoding.base_bytes)
+            if words is None:
+                words = buf.view(f"<u{encoding.base_bytes}")
+                views[encoding.base_bytes] = words
+            dtype = words.dtype.type
+            bound = 1 << (8 * encoding.delta_bytes - 1)
+            modulus = 1 << (8 * encoding.base_bytes)
+            # Immediates are small unsigned values from the zero base.
+            immediate = words < dtype(bound)
+            explicit = ~immediate
+            # The explicit base is the first non-immediate word (single
+            # pass, as in the hardware algorithm and _try_encode).
+            base = words[np.arange(n), explicit.argmax(axis=1)]
+            # Modular wraparound makes the unsigned difference an exact
+            # test of the signed-range fit: word - base (arbitrary
+            # precision) lies in [-bound, bound) iff the wrapped delta
+            # is < bound or >= modulus - bound.
+            delta = words - base[:, None]
+            fits_delta = (delta < dtype(bound)) | (
+                delta >= dtype(modulus - bound)
+            )
+            fits = (immediate | fits_delta).all(axis=1)
+            hit = improves & fits
+            sizes[hit] = size
+            chosen[hit] = index
+        names = [e.name for e, _ in self._encoding_sizes]
+        out: list[tuple[int, str]] = []
+        zeros_list = (~nonzero).tolist()
+        repeat_list = (repeated & nonzero).tolist()
+        size_list = sizes.tolist()
+        chosen_list = chosen.tolist()
+        for i in range(n):
+            if zeros_list[i]:
+                out.append((ZEROS_SIZE, "ZEROS"))
+            elif repeat_list[i]:
+                out.append((REPEAT_SIZE, "REPEAT"))
+            elif chosen_list[i] >= 0:
+                out.append((size_list[i], names[chosen_list[i]]))
+            else:
+                out.append((line_size, "uncompressed"))
+        return out
 
     # ------------------------------------------------------------------
     # Decompression

@@ -21,6 +21,38 @@ from repro.compression.cpack import CPackCompressor
 from repro.compression.fpc import FpcCompressor
 
 
+def compose_size_tables(
+    component_tables: Sequence[tuple[str, Sequence[tuple[int, str]]]],
+    line_size: int,
+) -> list[tuple[int, str]]:
+    """Per-line best-of selection over component ``(size, encoding)`` tables.
+
+    Mirrors ``BestOfAllCompressor._compress_line`` exactly: the first
+    component (in order) with the strictly smallest size wins, and a
+    winner that failed to shrink the line reports plain
+    ``"uncompressed"`` rather than a tagged component encoding. Also
+    used to compose cached per-component planes into a best-of-all
+    plane without recompressing anything.
+    """
+    if not component_tables:
+        raise CompressionError("need at least one component table")
+    n_lines = len(component_tables[0][1])
+    out: list[tuple[int, str]] = []
+    for i in range(n_lines):
+        best_size = line_size + 1
+        best: tuple[int, str] | None = None
+        for name, table in component_tables:
+            size, encoding = table[i]
+            if size < best_size:
+                best_size = size
+                best = (size, f"{name}:{encoding}")
+        if best is None or best_size >= line_size:
+            out.append((line_size, "uncompressed"))
+        else:
+            out.append(best)
+    return out
+
+
 class BestOfAllCompressor(CompressionAlgorithm):
     """Per-line oracle over a set of component algorithms.
 
@@ -55,10 +87,9 @@ class BestOfAllCompressor(CompressionAlgorithm):
         self.components = tuple(components)
         self._by_name = {c.name: c for c in self.components}
 
-    def compress(self, data: bytes) -> CompressedLine:
-        self._check_input(data)
+    def _compress_line(self, data: bytes) -> CompressedLine:
         best = min(
-            (component.compress(data) for component in self.components),
+            (component._compress_line(data) for component in self.components),
             key=lambda line: line.size_bytes,
         )
         if not best.is_compressed:
@@ -72,6 +103,15 @@ class BestOfAllCompressor(CompressionAlgorithm):
             size_bytes=best.size_bytes,
             line_size=best.line_size,
             state=best,
+        )
+
+    def _size_table(self, lines: list[bytes]) -> list[tuple[int, str]]:
+        return compose_size_tables(
+            [
+                (component.name, component._size_table(lines))
+                for component in self.components
+            ],
+            self.line_size,
         )
 
     def decompress(self, line: CompressedLine) -> bytes:

@@ -30,6 +30,9 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from collections import deque
+
+from repro.compression import batch
 from repro.compression.base import (
     CompressedLine,
     CompressionAlgorithm,
@@ -77,8 +80,7 @@ class CPackCompressor(CompressionAlgorithm):
     # ------------------------------------------------------------------
     # Compression
     # ------------------------------------------------------------------
-    def compress(self, data: bytes) -> CompressedLine:
-        self._check_input(data)
+    def _compress_line(self, data: bytes) -> CompressedLine:
         dictionary: list[int] = []
         symbols: list[_Symbol] = []
         bits = 0
@@ -125,6 +127,63 @@ class CPackCompressor(CompressionAlgorithm):
             return best
         self._push(dictionary, word)
         return _Symbol("xxxx", literal=word)
+
+    # ------------------------------------------------------------------
+    # Batch size kernels
+    # ------------------------------------------------------------------
+    def _size_table(self, lines: list[bytes]) -> list[tuple[int, str]]:
+        # The FIFO dictionary makes C-Pack inherently sequential per
+        # line; the batch win is the bulk byte-to-word conversion plus a
+        # size-only inner loop with no symbol allocation.
+        line_size = self.line_size
+        size_bits = self._size_bits
+        out: list[tuple[int, str]] = []
+        for words in batch.u32_rows(lines):
+            size = max(1, math.ceil(size_bits(words) / 8))
+            if size >= line_size:
+                out.append((line_size, "uncompressed"))
+            else:
+                out.append((size, "cpack"))
+        return out
+
+    @staticmethod
+    def _size_bits(words: list[int]) -> int:
+        """Symbol-stream bits of one line (size-only ``_encode``).
+
+        Sizes depend only on which match class exists in the dictionary
+        (exact beats high-24 beats high-16), not on which entry matched,
+        so presence flags replace ``_encode``'s best-symbol bookkeeping.
+        """
+        dictionary: deque[int] = deque(maxlen=DICTIONARY_ENTRIES)
+        bits = 0
+        for word in words:
+            if word == 0:
+                bits += 2  # zzzz
+                continue
+            if word & 0xFFFFFF00 == 0:
+                bits += 12  # zzzx
+                continue
+            high24 = word & 0xFFFFFF00
+            high16 = word & 0xFFFF0000
+            exact = high24_hit = high16_hit = False
+            for entry in dictionary:
+                if entry == word:
+                    exact = True
+                    break
+                if entry & 0xFFFFFF00 == high24:
+                    high24_hit = True
+                elif entry & 0xFFFF0000 == high16:
+                    high16_hit = True
+            if exact:
+                bits += 6  # mmmm
+            elif high24_hit:
+                bits += 16  # mmmx
+            elif high16_hit:
+                bits += 24  # mmxx
+            else:
+                dictionary.append(word)
+                bits += 34  # xxxx
+        return bits
 
     # ------------------------------------------------------------------
     # Decompression

@@ -21,6 +21,7 @@ import math
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.compression import batch
 from repro.compression.base import (
     CompressedLine,
     CompressionAlgorithm,
@@ -121,8 +122,7 @@ class FpcCompressor(CompressionAlgorithm):
     # ------------------------------------------------------------------
     # Compression
     # ------------------------------------------------------------------
-    def compress(self, data: bytes) -> CompressedLine:
-        self._check_input(data)
+    def _compress_line(self, data: bytes) -> CompressedLine:
         words = [
             int.from_bytes(data[i : i + 4], "little")
             for i in range(0, self.line_size, 4)
@@ -182,6 +182,123 @@ class FpcCompressor(CompressionAlgorithm):
     def _repeated_bytes(word: int) -> bool:
         b = word & 0xFF
         return word == b * 0x01010101
+
+    # ------------------------------------------------------------------
+    # Batch size kernels
+    # ------------------------------------------------------------------
+    def _size_table(self, lines: list[bytes]) -> list[tuple[int, str]]:
+        if batch.np is not None and lines:
+            return self._size_table_numpy(lines)
+        line_size = self.line_size
+        out: list[tuple[int, str]] = []
+        for data in lines:
+            words = [
+                int.from_bytes(data[i : i + 4], "little")
+                for i in range(0, line_size, 4)
+            ]
+            size = max(1, math.ceil(self._size_bits(words) / 8))
+            if size >= line_size:
+                out.append((line_size, "uncompressed"))
+            else:
+                out.append((size, "fpc"))
+        return out
+
+    def _size_bits(self, words: list[int]) -> int:
+        """Total symbol-stream bits of a line (size-only ``_encode_at``)."""
+        enabled = self._enabled
+        use_zero_run = "zero_run" in enabled
+        bits = 0
+        i = 0
+        n = len(words)
+        while i < n:
+            word = words[i]
+            if use_zero_run and word == 0:
+                run = 1
+                while (
+                    run < MAX_ZERO_RUN and i + run < n and words[i + run] == 0
+                ):
+                    run += 1
+                bits += PREFIX_BITS + ZERO_RUN.payload_bits
+                i += run
+                continue
+            bits += PREFIX_BITS + self._word_payload_bits(word)
+            i += 1
+        return bits
+
+    def _word_payload_bits(self, word: int) -> int:
+        """Payload bits of one non-run word, in ``_encode_at`` order."""
+        enabled = self._enabled
+        if "signed_4bit" in enabled and _fits_signed(word, 4):
+            return 4
+        if "signed_1byte" in enabled and _fits_signed(word, 8):
+            return 8
+        if "signed_halfword" in enabled and _fits_signed(word, 16):
+            return 16
+        if "zero_padded_halfword" in enabled and word & 0xFFFF == 0:
+            return 16
+        if "two_signed_bytes" in enabled and self._two_signed_bytes(word):
+            return 16
+        if "repeated_bytes" in enabled and self._repeated_bytes(word):
+            return 8
+        return 32
+
+    def _size_table_numpy(self, lines: list[bytes]) -> list[tuple[int, str]]:
+        np = batch.np
+        line_size = self.line_size
+        enabled = self._enabled
+        unsigned = batch.word_matrix(lines, 4)
+        signed = unsigned.view("<i4")
+
+        word_bits = np.full(unsigned.shape, PREFIX_BITS + 32, dtype=np.int64)
+        undecided = np.ones(unsigned.shape, dtype=bool)
+
+        def claim(mask, payload_bits: int) -> None:
+            hit = mask & undecided
+            word_bits[hit] = PREFIX_BITS + payload_bits
+            undecided[hit] = False
+
+        if "signed_4bit" in enabled:
+            claim((signed >= -8) & (signed < 8), 4)
+        if "signed_1byte" in enabled:
+            claim((signed >= -128) & (signed < 128), 8)
+        if "signed_halfword" in enabled:
+            claim((signed >= -32768) & (signed < 32768), 16)
+        if "zero_padded_halfword" in enabled:
+            claim((unsigned & 0xFFFF) == 0, 16)
+        if "two_signed_bytes" in enabled:
+            # Each 16-bit half must sign-extend from 8 bits; unsigned
+            # equivalent of -128 <= signed16 < 128.
+            low = (unsigned & 0xFFFF).astype(np.int64)
+            high = (unsigned >> 16).astype(np.int64)
+            claim(
+                (((low + 128) & 0xFFFF) < 256)
+                & (((high + 128) & 0xFFFF) < 256),
+                16,
+            )
+        if "repeated_bytes" in enabled:
+            claim(unsigned == (unsigned & 0xFF) * 0x01010101, 8)
+
+        zeros = unsigned == 0
+        if "zero_run" in enabled:
+            # A zero word starts a new run symbol iff its distance from
+            # the previous nonzero word is a multiple of MAX_ZERO_RUN.
+            idx = np.arange(unsigned.shape[1])
+            last_nonzero = np.maximum.accumulate(
+                np.where(zeros, -1, idx), axis=1
+            )
+            run_pos = idx - last_nonzero - 1
+            starts = zeros & (run_pos % MAX_ZERO_RUN == 0)
+            bits = starts.sum(axis=1) * (
+                PREFIX_BITS + ZERO_RUN.payload_bits
+            ) + np.where(zeros, 0, word_bits).sum(axis=1)
+        else:
+            bits = word_bits.sum(axis=1)
+
+        sizes = np.maximum(1, (bits + 7) // 8).tolist()
+        return [
+            (size, "fpc") if size < line_size else (line_size, "uncompressed")
+            for size in sizes
+        ]
 
     # ------------------------------------------------------------------
     # Decompression

@@ -21,6 +21,7 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+from repro.compression import batch
 from repro.compression.base import (
     CompressedLine,
     CompressionAlgorithm,
@@ -97,8 +98,7 @@ class FvcCompressor(CompressionAlgorithm):
     # ------------------------------------------------------------------
     # Compression
     # ------------------------------------------------------------------
-    def compress(self, data: bytes) -> CompressedLine:
-        self._check_input(data)
+    def _compress_line(self, data: bytes) -> CompressedLine:
         symbols: list[_Symbol] = []
         bits = 0
         for offset in range(0, self.line_size, 4):
@@ -120,6 +120,44 @@ class FvcCompressor(CompressionAlgorithm):
             line_size=self.line_size,
             state=tuple(symbols),
         )
+
+    # ------------------------------------------------------------------
+    # Batch size kernels
+    # ------------------------------------------------------------------
+    def _size_table(self, lines: list[bytes]) -> list[tuple[int, str]]:
+        if batch.np is None or not lines:
+            return [self._size_line(data) for data in lines]
+        return self._size_table_numpy(lines)
+
+    def _size_line(self, data: bytes) -> tuple[int, str]:
+        line_size = self.line_size
+        index = self._index
+        n_words = line_size // 4
+        hits = 0
+        for offset in range(0, line_size, 4):
+            if int.from_bytes(data[offset:offset + 4], "little") in index:
+                hits += 1
+        bits = n_words + hits * self.index_bits + (n_words - hits) * 32
+        size = max(1, math.ceil(bits / 8))
+        if size >= line_size:
+            return line_size, "uncompressed"
+        return size, "fvc"
+
+    def _size_table_numpy(self, lines: list[bytes]) -> list[tuple[int, str]]:
+        np = batch.np
+        line_size = self.line_size
+        words = batch.word_matrix(lines, 4)
+        in_table = np.zeros(words.shape, dtype=bool)
+        for value in self.table:
+            in_table |= words == value
+        n_words = words.shape[1]
+        hits = in_table.sum(axis=1)
+        bits = n_words + hits * self.index_bits + (n_words - hits) * 32
+        sizes = np.maximum(1, (bits + 7) // 8).tolist()
+        return [
+            (size, "fvc") if size < line_size else (line_size, "uncompressed")
+            for size in sizes
+        ]
 
     # ------------------------------------------------------------------
     # Decompression

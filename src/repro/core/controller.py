@@ -124,6 +124,7 @@ class CabaController(AssistController):
         library: SubroutineLibrary,
         algorithm: str,
         aws: AssistWarpStore | None = None,
+        programs: dict | None = None,
     ) -> None:
         super().__init__(sm)
         self.params = params
@@ -131,6 +132,13 @@ class CabaController(AssistController):
         self.algorithm = algorithm
         self.aws = aws if aws is not None else AssistWarpStore()
         self.stats = CabaStats()
+        #: Decompression program per encoding. Prebuilt from the image's
+        #: compression plane when one exists (every encoding in the image
+        #: is known upfront); unseen encodings fall back to the library
+        #: and are memoized here.
+        self._programs: dict[str, AssistProgram] = (
+            dict(programs) if programs else {}
+        )
 
         n_sched = sm.config.schedulers_per_sm
         self._awt: list[ActiveAssistWarp] = []
@@ -294,7 +302,10 @@ class CabaController(AssistController):
         self._spawn_decompression(entry)
 
     def _spawn_decompression(self, entry: _DecompressionEntry) -> None:
-        program = self.library.decompression(self.algorithm, entry.encoding)
+        program = self._programs.get(entry.encoding)
+        if program is None:
+            program = self.library.decompression(self.algorithm, entry.encoding)
+            self._programs[entry.encoding] = program
         self.aws.register("decompress", entry.encoding, program)
         priority = HIGH if self.params.decompression_high_priority else LOW
         aw = ActiveAssistWarp(

@@ -86,6 +86,11 @@ class RunCache:
     def _path(self, key: str) -> Path:
         return self.root / self.stamp / f"{key}.pkl"
 
+    def _plane_path(self, key: str) -> Path:
+        """Planes live in a subdirectory so ``info`` can report them
+        separately from run entries."""
+        return self.root / self.stamp / "planes" / f"{key}.pkl"
+
     # ------------------------------------------------------------------
     # Access
     # ------------------------------------------------------------------
@@ -106,14 +111,33 @@ class RunCache:
         if result.raw is not None:
             raise ValueError("refusing to persist a RunResult with raw "
                              "simulation state; strip it first")
-        path = self._path(self.key(spec))
+        self._write_atomic(self._path(self.key(spec)), result)
+
+    def get_plane(self, key: str):
+        """Cached :class:`CompressionPlane` for ``key``, or None.
+
+        Plane keys are already content addresses (see
+        :func:`repro.memory.plane.plane_key`); combined with the
+        stamp directory they invalidate on any source change.
+        """
+        try:
+            with open(self._plane_path(key), "rb") as fh:
+                return pickle.load(fh)
+        except Exception:
+            return None
+
+    def put_plane(self, key: str, plane) -> None:
+        """Persist one compression plane under the current stamp."""
+        self._write_atomic(self._plane_path(key), plane)
+
+    def _write_atomic(self, path: Path, obj) -> None:
         if path.exists():
             return
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
-                pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                pickle.dump(obj, fh, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -126,12 +150,22 @@ class RunCache:
     # Maintenance
     # ------------------------------------------------------------------
     def info(self) -> dict:
-        """Entry counts and sizes, split current-stamp vs. stale."""
+        """Entry counts and sizes: run entries and plane entries are
+        reported separately, each split current-stamp vs. stale."""
         current = stale = 0
-        total_bytes = 0
+        plane_current = plane_stale = 0
+        total_bytes = plane_bytes = 0
         if self.root.exists():
             for path in self.root.rglob("*.pkl"):
-                total_bytes += path.stat().st_size
+                size = path.stat().st_size
+                if path.parent.name == "planes":
+                    plane_bytes += size
+                    if path.parent.parent.name == self.stamp:
+                        plane_current += 1
+                    else:
+                        plane_stale += 1
+                    continue
+                total_bytes += size
                 if path.parent.name == self.stamp:
                     current += 1
                 else:
@@ -142,6 +176,9 @@ class RunCache:
             "entries": current,
             "stale_entries": stale,
             "total_bytes": total_bytes,
+            "plane_entries": plane_current,
+            "stale_plane_entries": plane_stale,
+            "plane_bytes": plane_bytes,
         }
 
     def clear(self) -> int:
@@ -155,7 +192,8 @@ class RunCache:
                 removed += 1
             except OSError:
                 pass
-        for sub in sorted(self.root.glob("*/"), reverse=True):
+        subdirs = [p for p in self.root.rglob("*") if p.is_dir()]
+        for sub in sorted(subdirs, key=lambda p: len(p.parts), reverse=True):
             try:
                 sub.rmdir()
             except OSError:

@@ -377,6 +377,8 @@ def fig11_compression_ratio(
     of each application's generated lines (burst-granularity ratio, as
     the paper measures it).
     """
+    from repro.harness.runner import plane_for_app
+
     compressors = {a: make_algorithm(a, line_size) for a in algorithms}
     result = FigureResult(
         figure="fig11",
@@ -384,18 +386,31 @@ def fig11_compression_ratio(
         columns=["app"] + [a.upper() for a in algorithms],
     )
     sums = {a: 0.0 for a in algorithms}
+    line_bursts = -(-line_size // 32)
     for app_name in apps:
         app = get_app(app_name)
-        gen = make_line_generator(app.data, line_size, seed=app.seed)
+        gen = None
         row = {"app": app_name}
         for algo in algorithms:
-            comp = compressors[algo]
-            total_bursts = 0
-            compressed_bursts = 0
-            for line_addr in range(sample_lines):
-                line = comp.compress(gen(line_addr))
-                total_bursts += -(-line_size // 32)
-                compressed_bursts += line.bursts()
+            total_bursts = sample_lines * line_bursts
+            # The sampled image is batch-compressed through the shared
+            # plane machinery (and its caches); with REPRO_PLANES=0 the
+            # plane is None and the scalar reference path runs instead.
+            plane = plane_for_app(app, algo, sample_lines, line_size)
+            if plane is not None:
+                compressed_bursts = sum(
+                    plane.bursts(line_addr)
+                    for line_addr in range(sample_lines)
+                )
+            else:
+                if gen is None:
+                    gen = make_line_generator(app.data, line_size,
+                                              seed=app.seed)
+                comp = compressors[algo]
+                compressed_bursts = sum(
+                    comp.compress(gen(line_addr)).bursts()
+                    for line_addr in range(sample_lines)
+                )
             ratio = total_bursts / compressed_bursts
             row[algo.upper()] = ratio
             sums[algo] += ratio

@@ -20,6 +20,7 @@ cache key and the unit of work the parallel engine
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 from typing import Callable
 
@@ -33,10 +34,12 @@ from repro.gpu.config import GPUConfig
 from repro.gpu.simulator import SimulationResult, Simulator
 from repro.gpu.stats import Slot
 from repro.harness import cache as run_cache_store
+from repro.memory import plane as plane_mod
 from repro.memory.image import LineInfo, MemoryImage
+from repro.memory.plane import CompressionPlane
 from repro.workloads.apps import AppProfile, get_app
 from repro.workloads.data_patterns import make_line_generator
-from repro.workloads.tracegen import TraceScale, build_kernel
+from repro.workloads.tracegen import TraceScale, build_kernel, footprint_extents
 
 
 @dataclass(frozen=True)
@@ -96,6 +99,13 @@ class RunResult:
 # Per-process caches.
 _line_info_caches: dict[tuple, dict[int, LineInfo]] = {}
 _run_cache: dict[RunSpec, RunResult] = {}
+#: Compression planes by content address, shared across every design of
+#: a sweep (Base/CABA-BDI/... all reuse the same per-algorithm plane).
+_plane_cache: dict[str, CompressionPlane] = {}
+#: Byte-caching line generators by image identity; building planes for
+#: several algorithms over the same image generates the bytes once.
+_line_bytes_memo: dict[tuple, Callable[[int], bytes]] = {}
+_LINE_BYTES_MEMO_CAP = 4
 
 
 def clear_caches() -> None:
@@ -103,7 +113,15 @@ def clear_caches() -> None:
     cache handle (mainly for tests; the on-disk entries survive)."""
     _line_info_caches.clear()
     _run_cache.clear()
+    _plane_cache.clear()
+    _line_bytes_memo.clear()
     run_cache_store.reset_cache_handle()
+
+
+def planes_enabled() -> bool:
+    """Whether precomputed compression planes are in use (default yes;
+    ``REPRO_PLANES=0`` forces the scalar per-access path everywhere)."""
+    return os.environ.get("REPRO_PLANES", "1") != "0"
 
 
 def _resolve_app(app: str | AppProfile) -> AppProfile:
@@ -118,18 +136,132 @@ def _compression_enabled(app: AppProfile, design: DesignPoint) -> bool:
     return design.compression_enabled and app.compressible
 
 
+def _cached_line_bytes(
+    app: AppProfile, line_size: int
+) -> Callable[[int], bytes]:
+    """A line-byte generator that memoizes generated bytes.
+
+    Keyed by the generator's full identity, so plane builds for several
+    algorithms over one image run the (pure-Python, relatively slow)
+    byte generation only once. Bounded to a few images to cap memory.
+    """
+    key = (repr(sorted(app.data.items())), app.seed, line_size)
+    fn = _line_bytes_memo.pop(key, None)
+    if fn is None:
+        raw = make_line_generator(app.data, line_size=line_size, seed=app.seed)
+        store: dict[int, bytes] = {}
+
+        def fn(line: int, _raw=raw, _store=store) -> bytes:
+            data = _store.get(line)
+            if data is None:
+                data = _raw(line)
+                _store[line] = data
+            return data
+
+        while len(_line_bytes_memo) >= _LINE_BYTES_MEMO_CAP:
+            _line_bytes_memo.pop(next(iter(_line_bytes_memo)))
+    _line_bytes_memo[key] = fn  # (re-)insert at the end: LRU order
+    return fn
+
+
+def _plane_for(
+    app: AppProfile,
+    algorithm_name: str,
+    line_size: int,
+    burst_bytes: int,
+    extents: tuple[tuple[int, int], ...],
+) -> CompressionPlane:
+    """Build-or-recall the plane for one (image, algorithm) pair.
+
+    Lookup order: in-process memo, persistent cache, build. BestOfAll
+    planes are composed from the (cached) component planes instead of
+    compressing the image a fourth time.
+    """
+    key = plane_mod.plane_key(
+        app.data, app.seed, algorithm_name, line_size, burst_bytes, extents
+    )
+    cached = _plane_cache.get(key)
+    if cached is not None:
+        return cached
+    disk = run_cache_store.get_cache()
+    if disk is not None:
+        hit = disk.get_plane(key)
+        if hit is not None:
+            _plane_cache[key] = hit
+            return hit
+    if algorithm_name == "bestofall":
+        components = [
+            (name, _plane_for(app, name, line_size, burst_bytes, extents))
+            for name in ("bdi", "fpc", "cpack")
+        ]
+        built = plane_mod.compose_best_of_all(
+            components, line_size, burst_bytes, key
+        )
+    else:
+        built = plane_mod.build_plane(
+            _cached_line_bytes(app, line_size),
+            extents,
+            make_algorithm(algorithm_name, line_size),
+            burst_bytes=burst_bytes,
+            key=key,
+        )
+    _plane_cache[key] = built
+    if disk is not None:
+        disk.put_plane(key, built)
+    return built
+
+
+def plane_for_app(
+    app: str | AppProfile,
+    algorithm: str,
+    line_count: int,
+    line_size: int = 128,
+    burst_bytes: int = 32,
+) -> CompressionPlane | None:
+    """The plane covering lines ``[0, line_count)`` of ``app``'s image.
+
+    Used by harnesses that sample the image directly (e.g. the Fig. 11
+    compression-ratio study) so they share plane construction and
+    caching with the simulator. Returns ``None`` when planes are
+    disabled (``REPRO_PLANES=0``); callers then fall back to scalar
+    compression.
+    """
+    if not planes_enabled():
+        return None
+    profile = _resolve_app(app)
+    return _plane_for(
+        profile, algorithm, line_size, burst_bytes, ((0, line_count),)
+    )
+
+
 def build_image(
-    app: AppProfile, design: DesignPoint, config: GPUConfig
+    app: AppProfile,
+    design: DesignPoint,
+    config: GPUConfig,
+    scale: TraceScale | None = None,
 ) -> MemoryImage:
-    """The compressed global-memory view for one run."""
+    """The compressed global-memory view for one run.
+
+    When ``scale`` is given (the simulator path always passes it) and
+    planes are enabled, the whole image footprint is batch-compressed
+    upfront — or recalled from a cache — so the simulation itself never
+    calls scalar ``compress()``.
+    """
     line_bytes = make_line_generator(
         app.data, line_size=config.line_size, seed=app.seed
     )
     algorithm = None
+    plane = None
     if _compression_enabled(app, design):
         algorithm = make_algorithm(design.algorithm, config.line_size)
         cache_key = (app.name, design.algorithm, config.line_size)
         shared = _line_info_caches.setdefault(cache_key, {})
+        if scale is not None and planes_enabled():
+            extents = footprint_extents(app, config, scale)
+            plane = _plane_for(
+                app, design.algorithm, config.line_size,
+                config.burst_bytes, extents,
+            )
     else:
         shared = None
     return MemoryImage(
@@ -138,6 +270,7 @@ def build_image(
         line_size=config.line_size,
         burst_bytes=config.burst_bytes,
         shared_cache=shared,
+        plane=plane,
     )
 
 
@@ -145,14 +278,34 @@ def _make_caba_factory(
     design: DesignPoint,
     config: GPUConfig,
     params: CabaParams,
+    plane: CompressionPlane | None = None,
 ) -> tuple[Callable | None, int]:
-    """Returns (controller factory, assist register demand per thread)."""
+    """Returns (controller factory, assist register demand per thread).
+
+    With a plane, every encoding in the image is known upfront, so each
+    controller gets a prebuilt encoding -> decompression-program table
+    and the per-spawn library dispatch disappears from the hot path.
+    """
     if not design.uses_assist_warps or design.algorithm is None:
         return None, 0
     library = SubroutineLibrary(line_size=config.line_size)
+    programs = None
+    if plane is not None:
+        programs = {}
+        for encoding in plane.encodings():
+            if encoding == "uncompressed":
+                continue
+            try:
+                programs[encoding] = library.decompression(
+                    design.algorithm, encoding
+                )
+            except (ValueError, KeyError):
+                continue
 
     def factory(sm):
-        return CabaController(sm, params, library, design.algorithm)
+        return CabaController(
+            sm, params, library, design.algorithm, programs=programs
+        )
 
     return factory, library.register_demand(design.algorithm)
 
@@ -170,10 +323,10 @@ def _simulate(profile: AppProfile, spec: RunSpec) -> RunResult:
 
         effective_design = base_design()
 
-    image = build_image(profile, effective_design, config)
+    image = build_image(profile, effective_design, config, spec.scale)
     kernel = build_kernel(profile, config, spec.scale)
     caba_factory, assist_regs = _make_caba_factory(
-        effective_design, config, spec.params
+        effective_design, config, spec.params, plane=image.plane
     )
     simulator = Simulator(
         config,

@@ -26,7 +26,7 @@ class CompressedAccessResult:
     evicted: tuple[tuple[int, bool], ...] = ()  # (line, dirty)
 
 
-@dataclass
+@dataclass(slots=True)
 class _Entry:
     dirty: bool
     size: int
@@ -57,10 +57,16 @@ class CompressedCache:
         self._sets: list[OrderedDict[int, _Entry]] = [
             OrderedDict() for _ in range(n_sets)
         ]
+        #: Bytes in use per set, maintained incrementally so misses do
+        #: not re-sum the whole set on every allocation.
+        self._used: list[int] = [0] * n_sets
+
+    def _set_index(self, line: int) -> int:
+        # Same XOR-folded set hashing as the plain Cache model.
+        return (line ^ (line >> 7) ^ (line >> 15)) % self.n_sets
 
     def _set_for(self, line: int) -> OrderedDict[int, _Entry]:
-        # Same XOR-folded set hashing as the plain Cache model.
-        return self._sets[(line ^ (line >> 7) ^ (line >> 15)) % self.n_sets]
+        return self._sets[self._set_index(line)]
 
     def probe(self, line: int) -> bool:
         return line in self._set_for(line)
@@ -82,7 +88,8 @@ class CompressedCache:
         byte budget fit."""
         if not 1 <= size <= self.line_size:
             raise ValueError(f"bad compressed size {size}")
-        target = self._set_for(line)
+        index = self._set_index(line)
+        target = self._sets[index]
         self.stats.accesses += 1
         entry = target.get(line)
         if entry is not None:
@@ -90,20 +97,21 @@ class CompressedCache:
             target.move_to_end(line)
             if is_write:
                 entry.dirty = True
+            self._used[index] += size - entry.size
             entry.size = size
             return CompressedAccessResult(hit=True)
         self.stats.misses += 1
         if not allocate:
             return CompressedAccessResult(hit=False)
-        evicted = self._make_room(target, size)
+        evicted = self._make_room(index, size)
         target[line] = _Entry(dirty=is_write, size=size)
+        self._used[index] += size
         return CompressedAccessResult(hit=False, evicted=tuple(evicted))
 
-    def _make_room(
-        self, target: OrderedDict[int, _Entry], size: int
-    ) -> list[tuple[int, bool]]:
+    def _make_room(self, index: int, size: int) -> list[tuple[int, bool]]:
+        target = self._sets[index]
         evicted: list[tuple[int, bool]] = []
-        used = sum(e.size for e in target.values())
+        used = self._used[index]
         while target and (
             len(target) >= self.max_tags or used + size > self.data_budget
         ):
@@ -113,12 +121,15 @@ class CompressedCache:
             self.stats.evictions += 1
             if victim.dirty:
                 self.stats.dirty_evictions += 1
+        self._used[index] = used
         return evicted
 
     def invalidate(self, line: int) -> bool:
-        target = self._set_for(line)
-        if line in target:
-            del target[line]
+        index = self._set_index(line)
+        target = self._sets[index]
+        entry = target.pop(line, None)
+        if entry is not None:
+            self._used[index] -= entry.size
             return True
         return False
 
@@ -129,7 +140,5 @@ class CompressedCache:
         """Fraction of the data budget in use (mean over sets)."""
         if not self._sets:
             return 0.0
-        fractions = [
-            sum(e.size for e in s.values()) / self.data_budget for s in self._sets
-        ]
-        return sum(fractions) / len(fractions)
+        used = sum(self._used)
+        return used / (self.data_budget * len(self._sets))

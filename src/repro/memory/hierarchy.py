@@ -36,7 +36,7 @@ from repro.memory.timeline import Timeline
 L2_TAG_CYCLES = 2.0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LineFill:
     """Timing outcome for one line of a load.
 
@@ -260,8 +260,9 @@ class MemorySystem:
         self._mshr_used[sm_id] += 1
         self._inflight[sm_id][line] = fill
         self.mshr_epoch[sm_id] += 1
-        size, _ = self._stored_size(line)
-        self._cache_access(l1, line, self._l1_fill_size(size), False)
+        self._cache_access(
+            l1, line, self._l1_fill_size(fill.size_bytes), False
+        )
         return fill
 
     def _miss_path(self, sm_id: int, line: int, now: float) -> LineFill:

@@ -51,10 +51,13 @@ class MemoryImage:
         line_size: int = 128,
         burst_bytes: int = 32,
         shared_cache: dict[int, LineInfo] | None = None,
+        plane=None,
     ) -> None:
         """``shared_cache`` lets several runs of the same workload +
         algorithm share the (immutable) baseline size cache; store
-        overrides always stay private to one run."""
+        overrides always stay private to one run. ``plane`` is an
+        optional precomputed :class:`~repro.memory.plane.CompressionPlane`
+        consulted before falling back to scalar compression."""
         if algorithm is not None and algorithm.line_size != line_size:
             raise ValueError(
                 f"algorithm line size {algorithm.line_size} != {line_size}"
@@ -67,6 +70,7 @@ class MemoryImage:
             shared_cache if shared_cache is not None else {}
         )
         self._overrides: dict[int, LineInfo] = {}
+        self.plane = plane if algorithm is not None else None
 
     # ------------------------------------------------------------------
     @property
@@ -87,8 +91,13 @@ class MemoryImage:
         if self.algorithm is None:
             info = LineInfo(self.line_size, "uncompressed")
         else:
-            compressed = self.algorithm.compress(self._line_bytes(line))
-            info = LineInfo(compressed.size_bytes, compressed.encoding)
+            # Planes are consulted per lookup (never bulk-copied) so the
+            # touched-line set — and with it every aggregate statistic —
+            # stays identical to the lazy scalar path.
+            info = self.plane.info(line) if self.plane is not None else None
+            if info is None:
+                compressed = self.algorithm.compress(self._line_bytes(line))
+                info = LineInfo(compressed.size_bytes, compressed.encoding)
         self._cache[line] = info
         return info
 

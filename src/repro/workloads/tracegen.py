@@ -208,18 +208,10 @@ def build_program(
     return Program(body=tuple(body), iterations=iterations, name=app.name)
 
 
-def build_kernel(
-    app: AppProfile,
-    config: GPUConfig,
-    scale: TraceScale = TraceScale(),
-) -> Kernel:
-    """Build the kernel launch for ``app`` on ``config``.
-
-    The grid is sized to ``app.waves`` full-machine waves of thread
-    blocks, using the plain-kernel occupancy (assist-warp register
-    pressure may later reduce the resident blocks — that effect is part
-    of what the simulation measures, not of the grid size).
-    """
+def _grid(
+    app: AppProfile, config: GPUConfig, scale: TraceScale
+) -> tuple[int, int]:
+    """Grid size for ``app`` on ``config``: ``(n_blocks, total_warps)``."""
     threads_per_block = app.warps_per_block * config.warp_size
     regs_per_block = app.regs_per_thread * threads_per_block
     limits = [
@@ -234,7 +226,57 @@ def build_kernel(
 
     waves = scale.waves if scale.waves is not None else app.waves
     n_blocks = max(1, math.ceil(waves * config.n_sms * blocks_per_sm))
-    total_warps = n_blocks * app.warps_per_block
+    return n_blocks, n_blocks * app.warps_per_block
+
+
+def footprint_extents(
+    app: AppProfile,
+    config: GPUConfig,
+    scale: TraceScale = TraceScale(),
+) -> tuple[tuple[int, int], ...]:
+    """Line-address extents of every global-memory region of ``app``.
+
+    Returns sorted ``(base_line, n_lines)`` pairs covering every address
+    any of the kernel's address generators can produce (each generator
+    stays within ``[base, base + n)`` by construction). Regions sharing
+    a base (same explicit ``region`` id) are merged to their maximum
+    extent. Used to eagerly batch-compress the whole memory image into
+    a :class:`~repro.memory.plane.CompressionPlane`.
+    """
+    _, total_warps = _grid(app, config, scale)
+    iterations = max(1, round(app.iterations * scale.work))
+    extents: dict[int, int] = {}
+    op_index = 0
+    for spec in app.body:
+        for _ in range(spec.count):
+            if spec.kind not in ("load", "store"):
+                continue
+            # Mirrors the op_index / region bookkeeping of build_program
+            # and the sizing arithmetic of _address_fn exactly.
+            region = spec.region if spec.region else op_index
+            base = (region + 1) * REGION_STRIDE
+            phase = _phase(spec)
+            total = total_warps * (iterations // phase + 1) * spec.fanout
+            n = _region_lines(spec, config, total)
+            if n > extents.get(base, 0):
+                extents[base] = n
+            op_index += 1
+    return tuple(sorted(extents.items()))
+
+
+def build_kernel(
+    app: AppProfile,
+    config: GPUConfig,
+    scale: TraceScale = TraceScale(),
+) -> Kernel:
+    """Build the kernel launch for ``app`` on ``config``.
+
+    The grid is sized to ``app.waves`` full-machine waves of thread
+    blocks, using the plain-kernel occupancy (assist-warp register
+    pressure may later reduce the resident blocks — that effect is part
+    of what the simulation measures, not of the grid size).
+    """
+    n_blocks, total_warps = _grid(app, config, scale)
     program = build_program(app, config, total_warps, scale)
     return Kernel(
         name=app.name,
