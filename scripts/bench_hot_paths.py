@@ -14,6 +14,12 @@ Measures the three paths the perf work targets:
 * ``figure_sweep`` — a cold multi-design figure sweep (three apps x
   five designs plus the Fig. 11 compression study) with compression
   planes on vs. off.
+* ``trace_overhead`` — the same runs with the observability layer
+  attached (``trace=True``), reported as a ratio over the untraced
+  time. The *untraced* path is additionally gated against the
+  checked-in baseline: the observability hooks are designed to be free
+  when disabled, so tracing-disabled wall time must stay within 3% of
+  the recorded ``after`` numbers.
 
 Simulator results are merged into ``BENCH_runner.json`` under
 ``--label``; the compression sections are written to
@@ -81,6 +87,42 @@ def bench_sim(repeats: int) -> dict:
             "cycles_per_second": round(cycles / best),
         }
     return out
+
+
+def bench_trace_overhead(sim_record: dict, repeats: int) -> dict:
+    """Traced re-runs of the ``sim`` points, as a ratio over untraced."""
+    points = [("PVC", designs.caba("bdi")), ("MM", designs.base())]
+    out = {}
+    for app, point in points:
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            run_app(app, point, use_cache=False, trace=True)
+            best = min(best, time.perf_counter() - start)
+        key = f"{app}-{point.name}"
+        untraced = sim_record[key]["seconds"]
+        out[key] = {
+            "traced_seconds": round(best, 4),
+            "untraced_seconds": untraced,
+            "overhead": round(best / untraced, 3),
+        }
+    return out
+
+
+def check_runner(sim_record: dict, baseline_sim: dict) -> list[str]:
+    """Gate: tracing-disabled sim time within 3% of the checked-in
+    baseline (the observability layer must be free when off)."""
+    failures = []
+    for key in sorted(set(sim_record) & set(baseline_sim)):
+        now = sim_record[key]["seconds"]
+        base = baseline_sim[key]["seconds"]
+        if now > 1.03 * base:
+            failures.append(
+                f"{key} tracing-disabled time {now:.3f}s exceeds 3% "
+                f"budget over baseline {base:.3f}s "
+                f"({now / base - 1:+.1%})"
+            )
+    return failures
 
 
 def bench_bdi(lines: int, repeats: int) -> dict:
@@ -232,9 +274,11 @@ def main() -> int:
     status = 0
     if args.section in ("all", "runner"):
         clear_caches()
+        sim = bench_sim(args.repeats)
         record = {
             "python": platform.python_version(),
-            "sim": bench_sim(args.repeats),
+            "sim": sim,
+            "trace_overhead": bench_trace_overhead(sim, args.repeats),
             "bdi": bench_bdi(args.bdi_lines, args.repeats),
             "subroutines": bench_subroutines(args.repeats),
         }
@@ -243,6 +287,9 @@ def main() -> int:
         if os.path.exists(args.out):
             with open(args.out) as fh:
                 merged = json.load(fh)
+        # Grab the previously checked-in numbers before overwriting the
+        # label — they are the reference for the trace-overhead gate.
+        baseline_sim = merged.get(args.label, {}).get("sim", {})
         merged[args.label] = record
 
         before = merged.get("before", {}).get("sim", {})
@@ -256,6 +303,12 @@ def main() -> int:
             fh.write("\n")
         print(json.dumps(record, indent=2))
         print(f"wrote {args.out} [{args.label}]")
+
+        runner_failures = check_runner(sim, baseline_sim)
+        for failure in runner_failures:
+            print(f"REGRESSION: {failure}")
+        if runner_failures:
+            status = 1
 
     if args.section in ("all", "compression"):
         try:

@@ -3,6 +3,7 @@
 Commands:
     list-apps            show the workload pool and its characteristics
     run APP              simulate one application under one design
+    trace APP            traced run: stall attribution + metric export
     compare APP          compare all five Figure-7 designs on one app
     figure ID            regenerate one paper figure/table
     compress FILE|-      compress raw bytes line by line and report ratios
@@ -81,6 +82,22 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--config", choices=sorted(CONFIGS), default="small")
     run_p.add_argument("--bandwidth-scale", type=float, default=1.0)
 
+    trace_p = sub.add_parser(
+        "trace",
+        help="run one application with the observability layer and "
+             "export stall-attribution / metric artifacts",
+    )
+    trace_p.add_argument("app", help="application name (see list-apps)")
+    trace_p.add_argument("--design", choices=sorted(DESIGNS), default="caba")
+    trace_p.add_argument("--algorithm", choices=sorted(ALGORITHMS),
+                         default="bdi")
+    trace_p.add_argument("--config", choices=sorted(CONFIGS), default="small")
+    trace_p.add_argument("--out", default=None,
+                         help="output directory (default: the run cache's "
+                              "traces directory)")
+    trace_p.add_argument("--chrome", action="store_true",
+                         help="also emit a chrome://tracing timeline")
+
     cmp_p = sub.add_parser("compare", help="compare the five designs")
     cmp_p.add_argument("app")
     cmp_p.add_argument("--algorithm", choices=sorted(ALGORITHMS),
@@ -148,6 +165,33 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from pathlib import Path
+
+    from repro.harness.cache import get_cache
+    from repro.obs.export import render_ledger, write_trace_files
+
+    get_app(args.app)
+    config = CONFIGS[args.config]()
+    design = _resolve_design(args.design, args.algorithm)
+    run = run_app(args.app, design, config, trace=True, chrome=args.chrome)
+    print(f"app    : {run.app}")
+    print(f"design : {run.design}")
+    print(f"cycles : {run.cycles}")
+    print(f"IPC    : {run.ipc:.4f}")
+    print()
+    print(render_ledger(run.obs))
+    if args.out is not None:
+        out_dir = Path(args.out)
+    else:
+        cache = get_cache()
+        out_dir = cache.trace_dir() if cache is not None else Path("traces")
+    base = f"{run.app}-{run.design}".replace("/", "_")
+    for path in write_trace_files(run.obs, out_dir, base):
+        print(f"wrote {path}")
+    return 0
+
+
 def _cmd_compare(args) -> int:
     get_app(args.app)
     config = CONFIGS[args.config]()
@@ -193,6 +237,9 @@ def _cmd_cache(args) -> int:
         print(f"plane entries : {info['plane_entries']} "
               f"({info['stale_plane_entries']} stale)")
         print(f"plane size    : {info['plane_bytes'] / 1024:.1f} KiB")
+        print(f"trace files   : {info['trace_entries']} "
+              f"({info['stale_trace_entries']} stale)")
+        print(f"trace size    : {info['trace_bytes'] / 1024:.1f} KiB")
         if not cache_enabled():
             print("note: persistent caching is disabled (REPRO_CACHE=0)")
         return 0
@@ -226,25 +273,34 @@ def _cmd_compress(args) -> int:
     return 0
 
 
+_COMMANDS = {
+    "list-apps": lambda args: _cmd_list_apps(),
+    "run": _cmd_run,
+    "trace": _cmd_trace,
+    "compare": _cmd_compare,
+    "figure": _cmd_figure,
+    "compress": _cmd_compress,
+    "cache": _cmd_cache,
+}
+
+
 def main(argv: list[str] | None = None) -> int:
-    args = _build_parser().parse_args(argv)
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    handler = _COMMANDS.get(args.command)
+    if handler is None:
+        # A subcommand registered on the parser but missing from the
+        # dispatch table must fail like any unknown command (usage +
+        # exit 2), not crash with a traceback.
+        parser.print_usage(sys.stderr)
+        print(f"repro: error: unknown command {args.command!r}",
+              file=sys.stderr)
+        return 2
     try:
-        if args.command == "list-apps":
-            return _cmd_list_apps()
-        if args.command == "run":
-            return _cmd_run(args)
-        if args.command == "compare":
-            return _cmd_compare(args)
-        if args.command == "figure":
-            return _cmd_figure(args)
-        if args.command == "compress":
-            return _cmd_compress(args)
-        if args.command == "cache":
-            return _cmd_cache(args)
+        return handler(args)
     except KeyError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    raise AssertionError("unreachable")
 
 
 if __name__ == "__main__":  # pragma: no cover

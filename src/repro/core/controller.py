@@ -57,6 +57,7 @@ class ActiveAssistWarp:
         "line",
         "cancelled",
         "blocking",
+        "spawn_cycle",
     )
 
     def __init__(
@@ -78,6 +79,8 @@ class ActiveAssistWarp:
         self.cancelled = False
         #: Whether this instance bumped its parent's ``assist_block``.
         self.blocking = False
+        #: Cycle the instance entered the AWT (observability only).
+        self.spawn_cycle = 0
 
 
 @dataclass
@@ -132,6 +135,8 @@ class CabaController(AssistController):
         self.algorithm = algorithm
         self.aws = aws if aws is not None else AssistWarpStore()
         self.stats = CabaStats()
+        #: Observability layer (repro.obs.RunObservation); None = off.
+        self.obs = None
         #: Decompression program per encoding. Prebuilt from the image's
         #: compression plane when one exists (every encoding in the image
         #: is known upfront); unseen encodings fall back to the library
@@ -315,6 +320,7 @@ class CabaController(AssistController):
             task="decompress",
             line=entry.line,
         )
+        aw.spawn_cycle = self._now
         entry.assist = aw
         self._awt.append(aw)
         if aw.deployed < len(program.body):
@@ -412,6 +418,7 @@ class CabaController(AssistController):
             task="compress",
             line=entry.line,
         )
+        aw.spawn_cycle = self._now
         entry.state = "compressing"
         self._waiting_stores -= 1
         entry.assist = aw
@@ -447,6 +454,11 @@ class CabaController(AssistController):
         self.stats.assist_warps_completed += 1
         self.sm.stats.assist_warps_completed += 1
         now = self._now + 1
+        if self.obs is not None:
+            self.obs.assist_event(
+                self.sm.sm_id, aw.task, aw.line, aw.spawn_cycle, now,
+                completed=True,
+            )
         if aw.task == "decompress":
             entry = self._decomp.pop(aw.line, None)
             self._unblock(aw)
@@ -482,6 +494,11 @@ class CabaController(AssistController):
         self._busy_compress_parents.discard(id(aw.parent))
         self.stats.assist_warps_cancelled += 1
         self.sm.stats.assist_warps_cancelled += 1
+        if self.obs is not None:
+            self.obs.assist_event(
+                self.sm.sm_id, aw.task, aw.line, aw.spawn_cycle, self._now,
+                completed=False,
+            )
 
     def _remove_from_awt(self, aw: ActiveAssistWarp) -> None:
         if aw in self._awt:

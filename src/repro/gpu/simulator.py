@@ -40,6 +40,8 @@ class SimulationResult:
     memory: MemorySystem
     occupancy: Occupancy
     truncated: bool
+    #: RunObservation when the run was traced, else None.
+    obs: object | None = None
 
     @property
     def cycles(self) -> int:
@@ -64,6 +66,7 @@ class Simulator:
         image: MemoryImage,
         caba_factory: Callable[[SM], object] | None = None,
         assist_regs_per_thread: int = 0,
+        obs: object | None = None,
     ) -> None:
         """
         Args:
@@ -75,6 +78,8 @@ class Simulator:
                 when the design uses assist warps.
             assist_regs_per_thread: Extra per-thread register demand of
                 the enabled assist subroutines (affects occupancy).
+            obs: A ``repro.obs.RunObservation`` to attach to every
+                component, or None (the default) for the untraced path.
         """
         if design.uses_assist_warps and caba_factory is None:
             raise ValueError(f"design {design.name} needs a CABA controller")
@@ -107,6 +112,14 @@ class Simulator:
         if caba_factory is not None:
             for sm in self.sms:
                 sm.caba = caba_factory(sm)
+
+        self.obs = obs
+        if obs is not None:
+            self.memory.attach_observer(obs)
+            for sm in self.sms:
+                sm.attach_observer(obs)
+                if sm.caba is not None:
+                    sm.caba.obs = obs
 
         self._pending_blocks: deque[int] = deque(range(kernel.n_blocks))
         self._blocks_retired = 0
@@ -181,6 +194,8 @@ class Simulator:
         if self.done:
             self._drain()
         stats = SimStats(cycles=self._cycle, sms=[sm.stats for sm in sms])
+        if self.obs is not None:
+            self.obs.finalize(stats, self.memory, self.sms)
         return SimulationResult(
             kernel=self.kernel.name,
             design=self.design.name,
@@ -188,6 +203,7 @@ class Simulator:
             memory=self.memory,
             occupancy=self.occupancy,
             truncated=truncated,
+            obs=self.obs,
         )
 
     def _fast_forward(self) -> None:

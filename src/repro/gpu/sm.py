@@ -22,19 +22,46 @@ from repro.gpu.config import GPUConfig
 from repro.gpu.isa import Instr, MemSpace, OpKind
 from repro.gpu.stats import Slot, SmStats
 from repro.gpu.warp import BlockContext, WarpContext
-from repro.memory.hierarchy import MemorySystem
+from repro.memory.hierarchy import MEM_SRC_DRAM, MEM_SRC_L1, MemorySystem
+from repro.obs.ledger import ASSIST_WARP, NO_WARP, SLOT_OF_CAT, StallCat
 
 #: ALU latency at or above which the op uses the narrow "heavy" pipe.
 HEAVY_ALU_LATENCY = 8
 #: Initiation interval of the heavy-ALU pipe (one op per this many cycles).
 HEAVY_ALU_II = 2
 
-# Issue attempt outcomes (internal).
+# Issue attempt outcomes (internal). The two structural-memory causes are
+# distinct codes so the traced path can tell MSHR pressure from LSU port
+# contention; both map to the same Figure-1 Memory Stall slot.
 _OK = 0
 _DEP = 1
 _STRUCT_ALU = 2
-_STRUCT_MEM = 3
-_SKIP = 4
+_STRUCT_LSU = 3
+_STRUCT_MSHR = 4
+
+# Bitmask views of the outcomes seen while scanning a scheduler's warps
+# (saw |= 1 << status is cheaper than three boolean updates per warp).
+_SAW_DEP = 1 << _DEP
+_SAW_ALU = 1 << _STRUCT_ALU
+_SAW_LSU = 1 << _STRUCT_LSU
+_SAW_MSHR = 1 << _STRUCT_MSHR
+_SAW_MEM = _SAW_LSU | _SAW_MSHR
+
+# Refined slot categories (plain ints in the hot path; see
+# repro.obs.ledger.StallCat for semantics).
+_CAT_ISSUE = int(StallCat.ISSUE)
+_CAT_ASSIST = int(StallCat.ASSIST)
+_CAT_COMPUTE = int(StallCat.COMPUTE)
+_CAT_SCOREBOARD = int(StallCat.SCOREBOARD)
+_CAT_MSHR_FULL = int(StallCat.MSHR_FULL)
+_CAT_LSU = int(StallCat.LSU)
+_CAT_INTERCONNECT = int(StallCat.INTERCONNECT)
+_CAT_DRAM = int(StallCat.DRAM)
+_CAT_ASSIST_WAIT = int(StallCat.ASSIST_WAIT)
+_CAT_IDLE = int(StallCat.IDLE)
+
+#: Refined category -> Figure-1 slot (indexable by the plain ints above).
+_CAT_SLOT = SLOT_OF_CAT
 
 _INF = float("inf")
 
@@ -79,6 +106,20 @@ class SM:
         #: Current cycle (updated at every tick; used by controllers
         #: whose callbacks fire from the event queue).
         self.now = 0
+
+        #: Stall-attribution ledger (repro.obs); None = tracing off, the
+        #: default, in which case the traced refinements are never run.
+        self._ledger = None
+        #: Refined (category, warp) of each scheduler's last real cycle,
+        #: mirrored alongside _last_slots for fast-forward replay.
+        self._last_cats: list[tuple[int, int]] = [(_CAT_IDLE, NO_WARP)] * n
+        #: Warp charged for the most recent ACTIVE slot (traced path).
+        self._attr_warp = NO_WARP
+
+    def attach_observer(self, obs) -> None:
+        """Install the observability layer's stall ledger (must happen
+        before the first tick so attribution is complete)."""
+        self._ledger = obs.ledger
 
     # ------------------------------------------------------------------
     # Block / warp management
@@ -128,9 +169,13 @@ class SM:
         issued = 0
         slots = self.stats.slots
         last = self._last_slots
+        ledger = self._ledger
         n_sched = self.config.schedulers_per_sm
         for s in range(n_sched):
-            slot = self._issue_slot(s, cycle)
+            cat = self._issue_slot(s, cycle)
+            if ledger is not None:
+                cat = self._charge(ledger, s, cat)
+            slot = _CAT_SLOT[cat]
             slots[slot] += 1
             last[s] = slot
             if slot is Slot.ACTIVE:
@@ -144,6 +189,11 @@ class SM:
         classification (no state changed during the gap)."""
         for s, slot in enumerate(self._last_slots):
             self.stats.slots[slot] += skipped
+        ledger = self._ledger
+        if ledger is not None:
+            sm_id = self.sm_id
+            for s, (cat, wid) in enumerate(self._last_cats):
+                ledger.charge(sm_id, s, cat, wid, skipped)
 
     def next_wake(self, cycle: int) -> float:
         """Earliest cycle at which this SM might make progress without an
@@ -155,12 +205,13 @@ class SM:
     # ------------------------------------------------------------------
     # Issue-slot logic
     # ------------------------------------------------------------------
-    def _issue_slot(self, s: int, cycle: int) -> Slot:
+    def _issue_slot(self, s: int, cycle: int) -> int:
         caba = self.caba
         if caba is not None and caba.issue_high(s, cycle):
-            return Slot.ACTIVE
+            self._attr_warp = ASSIST_WARP
+            return _CAT_ASSIST
 
-        saw_mem = saw_alu = saw_dep = False
+        saw = 0
         current = self._current[s] if self._greedy else None
         # can_consider() is inlined as attribute checks below: this is
         # the hottest loop in the simulator and the method-call overhead
@@ -171,10 +222,9 @@ class SM:
             # GTO: stay greedy on the current warp until it stalls.
             status = self._try_issue(current, cycle)
             if status == _OK:
-                return Slot.ACTIVE
-            saw_dep |= status == _DEP
-            saw_alu |= status == _STRUCT_ALU
-            saw_mem |= status == _STRUCT_MEM
+                self._attr_warp = current.global_index
+                return _CAT_ISSUE
+            saw |= 1 << status
         warps = self.sched_warps[s]
         n = len(warps)
         if self._greedy:
@@ -189,10 +239,9 @@ class SM:
                 status = self._try_issue(warp, cycle)
                 if status == _OK:
                     self._current[s] = warp
-                    return Slot.ACTIVE
-                saw_dep |= status == _DEP
-                saw_alu |= status == _STRUCT_ALU
-                saw_mem |= status == _STRUCT_MEM
+                    self._attr_warp = warp.global_index
+                    return _CAT_ISSUE
+                saw |= 1 << status
         else:
             start = self._rr[s] % max(1, n)
             for k in range(n):
@@ -207,22 +256,74 @@ class SM:
                 status = self._try_issue(warp, cycle)
                 if status == _OK:
                     self._current[s] = warp
+                    self._attr_warp = warp.global_index
                     # LRR: next cycle starts after the warp that issued.
                     self._rr[s] = (start + k + 1) % max(1, n)
-                    return Slot.ACTIVE
-                saw_dep |= status == _DEP
-                saw_alu |= status == _STRUCT_ALU
-                saw_mem |= status == _STRUCT_MEM
+                    return _CAT_ISSUE
+                saw |= 1 << status
 
         if caba is not None and caba.issue_low(s, cycle):
-            return Slot.ACTIVE
-        if saw_mem:
-            return Slot.MEMORY_STALL
-        if saw_alu:
-            return Slot.COMPUTE_STALL
-        if saw_dep:
-            return Slot.DATA_STALL
-        return Slot.IDLE
+            self._attr_warp = ASSIST_WARP
+            return _CAT_ASSIST
+        # Priority order matches the coarse Figure-1 classification
+        # (memory > compute > dependence), so SmStats.slots is unchanged.
+        if saw & _SAW_MEM:
+            return _CAT_MSHR_FULL if saw & _SAW_MSHR else _CAT_LSU
+        if saw & _SAW_ALU:
+            return _CAT_COMPUTE
+        if saw & _SAW_DEP:
+            return _CAT_SCOREBOARD
+        return _CAT_IDLE
+
+    # ------------------------------------------------------------------
+    # Traced-path refinement (never reached with tracing off)
+    # ------------------------------------------------------------------
+    def _charge(self, ledger, s: int, cat: int) -> int:
+        """Refine ``cat`` where the issue scan was too coarse, record it
+        in the stall ledger, and return the refined category."""
+        if cat == _CAT_ISSUE or cat == _CAT_ASSIST:
+            wid = self._attr_warp
+        elif cat == _CAT_SCOREBOARD:
+            cat, wid = self._refine_dep(s)
+        elif cat == _CAT_IDLE:
+            cat, wid = self._refine_idle(s)
+        else:
+            # Structural stalls (pipe/LSU/MSHR) are a shared-resource
+            # property of the SM, not of one warp.
+            wid = NO_WARP
+        self._last_cats[s] = (cat, wid)
+        ledger.charge(self.sm_id, s, cat, wid)
+        return cat
+
+    def _refine_dep(self, s: int) -> tuple[int, int]:
+        """Split a data-dependence stall by what the dependence waits
+        on: an outstanding DRAM round trip, an on-chip (L1/L2 hit or
+        interconnect) round trip, or a plain scoreboard hazard."""
+        onchip = None
+        first = None
+        for warp in self.sched_warps[s]:
+            if warp.finished or warp.at_barrier or warp.assist_block:
+                continue
+            if first is None:
+                first = warp
+            if warp.outstanding_mem:
+                if warp.mem_source == MEM_SRC_DRAM:
+                    return _CAT_DRAM, warp.global_index
+                if onchip is None:
+                    onchip = warp
+        if onchip is not None:
+            return _CAT_INTERCONNECT, onchip.global_index
+        if first is not None:
+            return _CAT_SCOREBOARD, first.global_index
+        return _CAT_SCOREBOARD, NO_WARP
+
+    def _refine_idle(self, s: int) -> tuple[int, int]:
+        """An idle slot where a warp is parked behind an assist warp
+        (store-buffer back-pressure) is CABA overhead, not true idle."""
+        for warp in self.sched_warps[s]:
+            if warp.assist_block and not warp.finished:
+                return _CAT_ASSIST_WAIT, warp.global_index
+        return _CAT_IDLE, NO_WARP
 
     # ------------------------------------------------------------------
     # Parent-warp instruction issue
@@ -309,7 +410,7 @@ class SM:
         """Shared-memory (and assist-warp L1-local) accesses: fixed latency."""
         if self._lsu_free > cycle:
             self._wake_hint = min(self._wake_hint, self._lsu_free)
-            return _STRUCT_MEM
+            return _STRUCT_LSU
         self._lsu_free = cycle + 1
         self.stats.shared_accesses += 1
         latency = (
@@ -323,7 +424,7 @@ class SM:
     def _issue_global_load(self, warp: WarpContext, instr: Instr, cycle: int) -> int:
         if self._lsu_free > cycle:
             self._wake_hint = min(self._wake_hint, self._lsu_free)
-            return _STRUCT_MEM
+            return _STRUCT_LSU
         memory = self.memory
         sm_id = self.sm_id
         epoch = memory.mshr_epoch[sm_id]
@@ -332,21 +433,21 @@ class SM:
         ):
             # Same instruction, MSHR state untouched since the last
             # failed attempt: the pre-check below would fail again.
-            return _STRUCT_MEM
+            return _STRUCT_MSHR
         lines = self._coalesce(instr, warp)
         for line in lines:
             if not memory.mshr_available(sm_id, line):
                 # MSHRs free up via fill events, which also end
                 # fast-forwards.
                 warp.mshr_fail_epoch = epoch
-                return _STRUCT_MEM
+                return _STRUCT_MSHR
         fills = []
         for line in lines:
             fill = self.memory.load(self.sm_id, line, cycle)
             if fill is None:
                 # MSHRs full: replay later; lines already sent keep their
                 # MSHR-release events and will merge on the retry.
-                return _STRUCT_MEM
+                return _STRUCT_MSHR
             if not fill.merged and not fill.from_l1:
                 self.schedule(
                     math.ceil(fill.fill_time),
@@ -361,6 +462,14 @@ class SM:
             self.caba.on_global_load(warp, lines, cycle)
         warp.pending_mask |= instr.dst_mask
         warp.outstanding_mem += 1
+        if self._ledger is not None:
+            # Deepest level any of this warp's fills travelled to; used
+            # by _refine_dep to split DRAM from on-chip waits.
+            source = MEM_SRC_L1
+            for fill in fills:
+                if fill.source > source:
+                    source = fill.source
+            warp.mem_source = source
 
         remaining = len(fills)
         def line_done() -> None:
@@ -388,7 +497,7 @@ class SM:
     def _issue_global_store(self, warp: WarpContext, instr: Instr, cycle: int) -> int:
         if self._lsu_free > cycle:
             self._wake_hint = min(self._wake_hint, self._lsu_free)
-            return _STRUCT_MEM
+            return _STRUCT_LSU
         lines = self._coalesce(instr, warp)
         self._lsu_free = cycle + len(lines)
         self.stats.stores += 1

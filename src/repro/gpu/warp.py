@@ -33,6 +33,7 @@ class WarpContext:
         "coal_key",
         "coal_lines",
         "mshr_fail_epoch",
+        "mem_source",
     )
 
     def __init__(
@@ -60,6 +61,10 @@ class WarpContext:
         #: MSHR epoch at which this warp's current load last failed the
         #: MSHR pre-check; the SM skips the retry until the epoch moves.
         self.mshr_fail_epoch = -1
+        #: Deepest memory level the warp's most recent load reached
+        #: (repro.memory.hierarchy.MEM_SRC_*); only maintained while the
+        #: observability ledger is attached.
+        self.mem_source = 0
 
     # ------------------------------------------------------------------
     @property

@@ -91,6 +91,12 @@ class RunCache:
         separately from run entries."""
         return self.root / self.stamp / "planes" / f"{key}.pkl"
 
+    def trace_dir(self) -> Path:
+        """Default output directory for exported trace artifacts
+        (``repro trace``); lives under the stamp so stale traces are
+        reported and cleared alongside stale run entries."""
+        return self.root / self.stamp / "traces"
+
     # ------------------------------------------------------------------
     # Access
     # ------------------------------------------------------------------
@@ -106,12 +112,18 @@ class RunCache:
             # nearly any exception type, not just PickleError.
             return None
 
-    def put(self, spec, result) -> None:
-        """Persist ``result`` (which must not carry ``raw`` state)."""
+    def put(self, spec, result, overwrite: bool = False) -> None:
+        """Persist ``result`` (which must not carry ``raw`` state).
+
+        Existing entries are left untouched unless ``overwrite`` is set
+        (used when a traced recompute carries strictly more data than
+        the untraced entry it replaces).
+        """
         if result.raw is not None:
             raise ValueError("refusing to persist a RunResult with raw "
                              "simulation state; strip it first")
-        self._write_atomic(self._path(self.key(spec)), result)
+        self._write_atomic(self._path(self.key(spec)), result,
+                           overwrite=overwrite)
 
     def get_plane(self, key: str):
         """Cached :class:`CompressionPlane` for ``key``, or None.
@@ -130,8 +142,8 @@ class RunCache:
         """Persist one compression plane under the current stamp."""
         self._write_atomic(self._plane_path(key), plane)
 
-    def _write_atomic(self, path: Path, obj) -> None:
-        if path.exists():
+    def _write_atomic(self, path: Path, obj, overwrite: bool = False) -> None:
+        if not overwrite and path.exists():
             return
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
@@ -150,26 +162,52 @@ class RunCache:
     # Maintenance
     # ------------------------------------------------------------------
     def info(self) -> dict:
-        """Entry counts and sizes: run entries and plane entries are
-        reported separately, each split current-stamp vs. stale."""
+        """Entry counts and sizes: run, plane and trace entries are
+        reported separately, each split current-stamp vs. stale.
+
+        Robust against cache directories written by older versions (or
+        by hand): unexpected files are counted by where they sit, never
+        crashed on — a cache dir predating the planes/traces layout, a
+        leftover ``.tmp`` from a killed worker, or a file race (deleted
+        between listing and ``stat``) all read as best-effort numbers.
+        """
         current = stale = 0
         plane_current = plane_stale = 0
-        total_bytes = plane_bytes = 0
+        trace_current = trace_stale = 0
+        total_bytes = plane_bytes = trace_bytes = 0
         if self.root.exists():
-            for path in self.root.rglob("*.pkl"):
-                size = path.stat().st_size
-                if path.parent.name == "planes":
+            for path in self.root.rglob("*"):
+                try:
+                    if not path.is_file():
+                        continue
+                    size = path.stat().st_size
+                except OSError:
+                    continue  # racing deletion / unreadable entry
+                try:
+                    in_stamp = (
+                        path.relative_to(self.root).parts[0] == self.stamp
+                    )
+                except (ValueError, IndexError):
+                    in_stamp = False
+                parent = path.parent.name
+                if parent == "planes":
                     plane_bytes += size
-                    if path.parent.parent.name == self.stamp:
+                    if in_stamp:
                         plane_current += 1
                     else:
                         plane_stale += 1
-                    continue
-                total_bytes += size
-                if path.parent.name == self.stamp:
-                    current += 1
-                else:
-                    stale += 1
+                elif parent == "traces":
+                    trace_bytes += size
+                    if in_stamp:
+                        trace_current += 1
+                    else:
+                        trace_stale += 1
+                elif path.suffix == ".pkl":
+                    total_bytes += size
+                    if in_stamp:
+                        current += 1
+                    else:
+                        stale += 1
         return {
             "root": str(self.root),
             "stamp": self.stamp,
@@ -179,14 +217,20 @@ class RunCache:
             "plane_entries": plane_current,
             "stale_plane_entries": plane_stale,
             "plane_bytes": plane_bytes,
+            "trace_entries": trace_current,
+            "stale_trace_entries": trace_stale,
+            "trace_bytes": trace_bytes,
         }
 
     def clear(self) -> int:
-        """Delete every cached entry (all stamps); returns entries removed."""
+        """Delete every cached entry and trace artifact (all stamps);
+        returns the number of files removed."""
         removed = 0
         if not self.root.exists():
             return 0
-        for path in self.root.rglob("*.pkl"):
+        for path in self.root.rglob("*"):
+            if not path.is_file():
+                continue
             try:
                 path.unlink()
                 removed += 1

@@ -37,6 +37,7 @@ from repro.harness import cache as run_cache_store
 from repro.memory import plane as plane_mod
 from repro.memory.image import LineInfo, MemoryImage
 from repro.memory.plane import CompressionPlane
+from repro.obs import RunObservation, trace_enabled
 from repro.workloads.apps import AppProfile, get_app
 from repro.workloads.data_patterns import make_line_generator
 from repro.workloads.tracegen import TraceScale, build_kernel, footprint_extents
@@ -87,6 +88,9 @@ class RunResult:
     lines_compressed: int = 0
     l1_stores: int = 0
     rmw_reads: int = 0
+    #: Observability payload (``RunObservation.export()``) for traced
+    #: runs; persisted without its (large, optional) chrome section.
+    obs: dict | None = field(repr=False, default=None)
     #: Full simulation state; only populated for ``keep_raw=True`` runs
     #: and never persisted (it holds the whole memory system).
     raw: SimulationResult | None = field(repr=False, default=None)
@@ -310,7 +314,12 @@ def _make_caba_factory(
     return factory, library.register_demand(design.algorithm)
 
 
-def _simulate(profile: AppProfile, spec: RunSpec) -> RunResult:
+def _simulate(
+    profile: AppProfile,
+    spec: RunSpec,
+    trace: bool = False,
+    chrome: bool = False,
+) -> RunResult:
     """Execute one run; the returned result carries the raw state."""
     design = spec.design
     config = spec.config
@@ -328,6 +337,9 @@ def _simulate(profile: AppProfile, spec: RunSpec) -> RunResult:
     caba_factory, assist_regs = _make_caba_factory(
         effective_design, config, spec.params, plane=image.plane
     )
+    obs = (
+        RunObservation.for_config(config, chrome=chrome) if trace else None
+    )
     simulator = Simulator(
         config,
         kernel,
@@ -335,6 +347,7 @@ def _simulate(profile: AppProfile, spec: RunSpec) -> RunResult:
         image,
         caba_factory=caba_factory,
         assist_regs_per_thread=assist_regs,
+        obs=obs,
     )
     sim_result = simulator.run()
     energy = EnergyModel().evaluate(sim_result, config, effective_design)
@@ -361,20 +374,37 @@ def _simulate(profile: AppProfile, spec: RunSpec) -> RunResult:
         lines_compressed=stats.lines_compressed,
         l1_stores=stats.l1_stores,
         rmw_reads=stats.rmw_reads,
+        obs=obs.export() if obs is not None else None,
         raw=sim_result,
     )
 
 
-def cached_result(spec: RunSpec) -> RunResult | None:
+def _satisfies(
+    result: RunResult, keep_raw: bool, trace: bool, chrome: bool
+) -> bool:
+    """Whether a cached result can stand in for the requested run."""
+    if keep_raw and result.raw is None:
+        return False
+    obs = result.obs
+    if trace and obs is None:
+        return False
+    if chrome and (obs is None or "chrome" not in obs):
+        return False
+    return True
+
+
+def cached_result(
+    spec: RunSpec, trace: bool = False, chrome: bool = False
+) -> RunResult | None:
     """Look up ``spec`` in the in-process memo and the persistent cache
     without simulating. Used by the parallel engine to pre-resolve work."""
     cached = _run_cache.get(spec)
-    if cached is not None:
+    if cached is not None and _satisfies(cached, False, trace, chrome):
         return cached
     disk = run_cache_store.get_cache()
     if disk is not None:
         hit = disk.get(spec)
-        if hit is not None:
+        if hit is not None and _satisfies(hit, False, trace, chrome):
             _run_cache[spec] = hit
             return hit
     return None
@@ -396,25 +426,37 @@ def run_spec(
     keep_raw: bool = False,
     profile: AppProfile | None = None,
     persist: bool = True,
+    trace: bool | None = None,
+    chrome: bool = False,
 ) -> RunResult:
     """Simulate (or recall) one :class:`RunSpec`.
 
     ``profile`` overrides registry lookup (custom workloads); such runs
     set ``persist=False`` since an unregistered profile's name is not a
     sound content address across processes.
+
+    ``trace`` attaches the observability layer (stall ledger + metrics
+    registry) and populates ``RunResult.obs``; the default (``None``)
+    follows the ``REPRO_TRACE`` environment knob. ``chrome`` additionally
+    collects a Chrome trace_event timeline (implies ``trace``); chrome
+    payloads are kept out of the persistent cache.
     """
+    if trace is None:
+        trace = trace_enabled()
+    if chrome:
+        trace = True
     if use_cache:
         cached = _run_cache.get(spec)
-        if cached is not None and (cached.raw is not None or not keep_raw):
+        if cached is not None and _satisfies(cached, keep_raw, trace, chrome):
             return cached
         if persist and not keep_raw:
-            hit = cached_result(spec)
+            hit = cached_result(spec, trace=trace, chrome=chrome)
             if hit is not None:
                 return hit
 
     if profile is None:
         profile = _resolve_app(spec.app)
-    result = _simulate(profile, spec)
+    result = _simulate(profile, spec, trace=trace, chrome=chrome)
     slim = replace(result, raw=None)
     if use_cache:
         # The memo keeps raw state only for opt-in keep_raw runs; the
@@ -423,7 +465,13 @@ def run_spec(
         if persist:
             disk = run_cache_store.get_cache()
             if disk is not None:
-                disk.put(spec, slim)
+                to_disk = slim
+                if slim.obs is not None and "chrome" in slim.obs:
+                    to_disk = replace(slim, obs={
+                        k: v for k, v in slim.obs.items() if k != "chrome"
+                    })
+                # A traced recompute upgrades any untraced entry in place.
+                disk.put(spec, to_disk, overwrite=trace)
     return result if keep_raw else slim
 
 
@@ -435,6 +483,8 @@ def run_app(
     caba_params: CabaParams | None = None,
     use_cache: bool = True,
     keep_raw: bool = False,
+    trace: bool | None = None,
+    chrome: bool = False,
 ) -> RunResult:
     """Simulate one application under one design point.
 
@@ -450,6 +500,10 @@ def run_app(
         keep_raw: Attach the full :class:`SimulationResult` to the
             returned result. Raw state is big (it holds the memory
             system), so it is opt-in and never cached on disk.
+        trace: Attach the observability layer and populate
+            ``RunResult.obs``; ``None`` (default) follows ``REPRO_TRACE``.
+        chrome: Also collect a Chrome trace_event timeline (implies
+            ``trace``).
     """
     profile = _resolve_app(app)
     spec = RunSpec(
@@ -464,7 +518,8 @@ def run_app(
     except KeyError:
         registered = False
     return run_spec(spec, use_cache=use_cache, keep_raw=keep_raw,
-                    profile=profile, persist=registered)
+                    profile=profile, persist=registered,
+                    trace=trace, chrome=chrome)
 
 
 def speedup(result: RunResult, baseline: RunResult) -> float:

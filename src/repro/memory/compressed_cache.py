@@ -99,7 +99,22 @@ class CompressedCache:
                 entry.dirty = True
             self._used[index] += size - entry.size
             entry.size = size
-            return CompressedAccessResult(hit=True)
+            if self._used[index] <= self.data_budget:
+                return CompressedAccessResult(hit=True)
+            # A line growing in place can push the set over its byte
+            # budget; evict LRU lines until it fits again. The hit line
+            # is MRU and fits on its own, so it is never its own victim.
+            evicted: list[tuple[int, bool]] = []
+            used = self._used[index]
+            while used > self.data_budget:
+                victim_line, victim = target.popitem(last=False)
+                used -= victim.size
+                evicted.append((victim_line, victim.dirty))
+                self.stats.evictions += 1
+                if victim.dirty:
+                    self.stats.dirty_evictions += 1
+            self._used[index] = used
+            return CompressedAccessResult(hit=True, evicted=tuple(evicted))
         self.stats.misses += 1
         if not allocate:
             return CompressedAccessResult(hit=False)

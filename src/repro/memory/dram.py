@@ -95,6 +95,8 @@ class MemoryController:
         self.banks = [_Bank() for _ in range(n_banks)]
         self.metadata_cache = metadata_cache
         self.stats = DramStats()
+        #: Observability layer (repro.obs.RunObservation); None = off.
+        self.obs = None
 
     # ------------------------------------------------------------------
     def _bank_and_row(self, local_line: int) -> tuple[_Bank, int]:
@@ -156,6 +158,9 @@ class MemoryController:
         else:
             self.stats.reads += 1
             self.stats.read_bursts += bursts
+        if self.obs is not None:
+            self.obs.record_dram(self.mc_id, bursts, is_write,
+                                 bus_start - at)
         return done
 
     def _metadata_fetch(self, at: float, local_line: int) -> float:

@@ -35,6 +35,11 @@ from repro.memory.timeline import Timeline
 #: Cycles an L2 bank's tag pipeline is occupied per access.
 L2_TAG_CYCLES = 2.0
 
+#: Deepest level a fill travelled to (LineFill.source / warp.mem_source).
+MEM_SRC_L1 = 0
+MEM_SRC_L2 = 1
+MEM_SRC_DRAM = 2
+
 
 @dataclass(frozen=True, slots=True)
 class LineFill:
@@ -54,6 +59,8 @@ class LineFill:
     size_bytes: int
     merged: bool = False
     from_l1: bool = False
+    #: Deepest level serving the line (MEM_SRC_*; observability only).
+    source: int = MEM_SRC_L2
 
 
 @dataclass
@@ -85,6 +92,8 @@ class MemorySystem:
         self.design = design
         self.image = image
         self.stats = TrafficStats()
+        #: Observability layer (repro.obs.RunObservation); None = off.
+        self.obs = None
 
         self._l1s = [self._make_l1(i) for i in range(config.n_sms)]
         self._inflight: list[dict[int, LineFill]] = [
@@ -115,6 +124,14 @@ class MemorySystem:
         algo = image.algorithm
         self._hw_decompress = algo.hw_decompression_latency if algo else 0
         self._hw_compress = algo.hw_compression_latency if algo else 0
+
+    def attach_observer(self, obs) -> None:
+        """Install the observability layer on the hierarchy and its
+        components (crossbar, memory controllers)."""
+        self.obs = obs
+        self.crossbar.obs = obs
+        for mc in self.mcs:
+            mc.obs = obs
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -221,6 +238,7 @@ class MemorySystem:
                 encoding=pending.encoding,
                 size_bytes=pending.size_bytes,
                 merged=True,
+                source=pending.source,
             )
 
         l1 = self._l1s[sm_id]
@@ -242,7 +260,7 @@ class MemorySystem:
                 ready += self._hw_decompress
             # Touch LRU state.
             self._cache_access(l1, line, self._l1_fill_size(size), False)
-            return LineFill(
+            fill = LineFill(
                 line=line,
                 fill_time=now + cfg.l1_latency,
                 ready_time=ready,
@@ -250,7 +268,11 @@ class MemorySystem:
                 encoding=encoding,
                 size_bytes=size,
                 from_l1=True,
+                source=MEM_SRC_L1,
             )
+            if self.obs is not None:
+                self.obs.record_fill(fill, now)
+            return fill
 
         if self._mshr_used[sm_id] >= cfg.l1_mshrs:
             self.stats.mshr_stalls += 1
@@ -263,6 +285,8 @@ class MemorySystem:
         self._cache_access(
             l1, line, self._l1_fill_size(fill.size_bytes), False
         )
+        if self.obs is not None:
+            self.obs.record_fill(fill, now)
         return fill
 
     def _miss_path(self, sm_id: int, line: int, now: float) -> LineFill:
@@ -295,7 +319,9 @@ class MemorySystem:
             if design.decompress_at == "mc" and compressed and not design.ideal:
                 t_dram += self._hw_decompress
             t_data = t_dram
-            self._write_back_victims(mc, victims, t_tag)
+        # Compressed L2 banks can evict on hits too (a line growing in
+        # place pushes LRU lines over the data budget).
+        self._write_back_victims(mc, victims, t_tag)
 
         reply_bytes = size if l2_compressed else cfg.line_size
         fill_time = self.crossbar.send_reply(mc, t_data, reply_bytes)
@@ -311,6 +337,7 @@ class MemorySystem:
         needs_assist = (
             design.decompress_at == "core_assist" and needs_expansion
         )
+        source = MEM_SRC_L2 if hit else MEM_SRC_DRAM
         ready = fill_time
         if (
             design.decompress_at == "core_hw"
@@ -326,6 +353,7 @@ class MemorySystem:
             needs_assist=needs_assist,
             encoding=encoding,
             size_bytes=size,
+            source=source,
         )
 
     def _write_back_victims(
@@ -417,7 +445,9 @@ class MemorySystem:
                     is_write=False,
                 )
                 self.stats.rmw_reads += 1
-            self._write_back_victims(mc, victims, done)
+        # Hits may evict as well: a store that grows a compressed line in
+        # place can push the set's LRU lines over the data budget.
+        self._write_back_victims(mc, victims, done)
         return done
 
     # ------------------------------------------------------------------

@@ -1,0 +1,134 @@
+"""Named-metric registry: counters and histograms with stable export.
+
+Components record into the registry only when tracing is enabled, so
+the default hot path stays untouched. Histograms use power-of-two bins
+(latencies and occupancies span orders of magnitude) and track exact
+count/sum/min/max, which keeps the export compact, integer-valued and
+byte-deterministic across runs, worker processes and backends.
+"""
+
+from __future__ import annotations
+
+
+class Counter:
+    """A monotonically increasing named integer."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def set(self, value: int) -> None:
+        """Snapshot-style assignment (used when mirroring existing
+        aggregate counters into the registry at end of run)."""
+        self.value = value
+
+
+class Histogram:
+    """Power-of-two-binned histogram of non-negative integers.
+
+    Bin ``i`` holds values in ``[2**(i-1), 2**i)`` with bin 0 holding
+    exactly zero; values beyond the last bin land in the overflow bin.
+    """
+
+    __slots__ = ("name", "bins", "count", "total", "min", "max")
+
+    N_BINS = 32
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.bins = [0] * (self.N_BINS + 1)
+        self.count = 0
+        self.total = 0
+        self.min: int | None = None
+        self.max: int | None = None
+
+    def record(self, value: int, n: int = 1) -> None:
+        if value < 0:
+            value = 0
+        index = value.bit_length()
+        if index > self.N_BINS:
+            index = self.N_BINS
+        self.bins[index] += n
+        self.count += n
+        self.total += value * n
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def export(self) -> dict:
+        # Trailing empty bins are trimmed so the payload stays small and
+        # independent of N_BINS bumps.
+        last = 0
+        for i, n in enumerate(self.bins):
+            if n:
+                last = i
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.min is not None else 0,
+            "max": self.max if self.max is not None else 0,
+            "bins": self.bins[: last + 1],
+        }
+
+
+class MetricsRegistry:
+    """Create-on-first-use store of named counters and histograms."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            self._counters[name] = counter = Counter(name)
+        return counter
+
+    def histogram(self, name: str) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            self._histograms[name] = histogram = Histogram(name)
+        return histogram
+
+    def set_counters(self, prefix: str, values: dict[str, int]) -> None:
+        """Mirror a dict of aggregate counters under ``prefix.*``."""
+        for key in sorted(values):
+            self.counter(f"{prefix}.{key}").set(int(values[key]))
+
+    # ------------------------------------------------------------------
+    def export(self) -> dict:
+        """Deterministic, JSON-ready view (names sorted)."""
+        return {
+            "counters": {
+                name: self._counters[name].value
+                for name in sorted(self._counters)
+            },
+            "histograms": {
+                name: self._histograms[name].export()
+                for name in sorted(self._histograms)
+            },
+        }
+
+    def to_csv(self) -> str:
+        """Flat CSV: ``kind,name,field,value`` rows, sorted."""
+        lines = ["kind,name,field,value"]
+        for name in sorted(self._counters):
+            lines.append(f"counter,{name},value,{self._counters[name].value}")
+        for name in sorted(self._histograms):
+            h = self._histograms[name].export()
+            for field in ("count", "total", "min", "max"):
+                lines.append(f"histogram,{name},{field},{h[field]}")
+            for i, n in enumerate(h["bins"]):
+                lines.append(f"histogram,{name},bin{i},{n}")
+        return "\n".join(lines) + "\n"

@@ -14,6 +14,7 @@ from repro.gpu.isa import Instr, MemSpace, OpKind, Program, reg_mask
 from repro.gpu.kernel import Kernel
 from repro.gpu.simulator import Simulator
 from repro.memory.image import MemoryImage
+from repro.obs import RunObservation
 
 
 def _instr(kind: str, salt: int) -> Instr:
@@ -52,7 +53,7 @@ bodies = st.lists(
 )
 
 
-def run_program(kinds, iterations, design):
+def run_program(kinds, iterations, design, trace=False):
     config = GPUConfig.small()
     body = tuple(_instr(kind, salt=i) for i, kind in enumerate(kinds))
     kernel = Kernel(
@@ -63,7 +64,8 @@ def run_program(kinds, iterations, design):
         regs_per_thread=16,
     )
     image = MemoryImage(lambda line: bytes(128), None, 128)
-    return Simulator(config, kernel, design, image).run()
+    obs = RunObservation.for_config(config) if trace else None
+    return Simulator(config, kernel, design, image, obs=obs).run()
 
 
 @settings(max_examples=15, deadline=None)
@@ -92,3 +94,33 @@ def test_slot_accounting_complete(kinds):
     config = GPUConfig.small()
     for sm_stats in result.stats.sms:
         assert sum(sm_stats.slots) == result.cycles * config.schedulers_per_sm
+
+
+@settings(max_examples=10, deadline=None)
+@given(kinds=bodies, iterations=st.integers(min_value=1, max_value=3))
+def test_ledger_invariants_on_random_programs(kinds, iterations):
+    """The stall ledger stays complete, non-negative and reconciled with
+    the coarse slot stats for arbitrary well-formed programs."""
+    result = run_program(kinds, iterations, designs.base(), trace=True)
+    ledger = result.obs.ledger
+    config = GPUConfig.small()
+    for sm_id, sm_stats in enumerate(result.stats.sms):
+        counts = ledger.sm_counts[sm_id]
+        assert all(count >= 0 for count in counts)
+        assert sum(counts) == result.cycles * config.schedulers_per_sm
+        assert ledger.slot_view(sm_id) == list(sm_stats.slots)
+        for row in ledger.warp_counts[sm_id].values():
+            assert all(count >= 0 for count in row)
+
+
+@settings(max_examples=8, deadline=None)
+@given(kinds=bodies, iterations=st.integers(min_value=1, max_value=3))
+def test_tracing_preserves_simulation_outcome(kinds, iterations):
+    """Attaching the observability layer never changes what happens."""
+    plain = run_program(kinds, iterations, designs.base())
+    traced = run_program(kinds, iterations, designs.base(), trace=True)
+    assert traced.cycles == plain.cycles
+    assert traced.stats.parent_instructions == plain.stats.parent_instructions
+    assert traced.memory.stats.dram_reads == plain.memory.stats.dram_reads
+    for t_sm, p_sm in zip(traced.stats.sms, plain.stats.sms):
+        assert list(t_sm.slots) == list(p_sm.slots)

@@ -1,0 +1,111 @@
+"""Compatibility and robustness tests for the persistent run cache.
+
+``repro cache info`` must work on whatever it finds on disk: cache
+directories written before the planes/traces layout existed, leftover
+temp files from killed workers, and plain garbage a user dropped in the
+directory. It must also report trace artifacts, and ``put`` must honour
+its overwrite contract (traced recomputes upgrade untraced entries).
+"""
+
+import pickle
+
+import pytest
+
+from repro.cli import main
+from repro.harness.cache import RunCache
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return RunCache(root=tmp_path / "cache", stamp="stampA")
+
+
+class TestInfoTolerance:
+    def test_empty_root(self, cache):
+        info = cache.info()
+        assert info["entries"] == 0
+        assert info["trace_entries"] == 0
+
+    def test_pre_planes_layout(self, cache):
+        """Old caches stored run pickles without planes/ or traces/
+        subdirectories — and the oldest stored them directly in root."""
+        legacy_stamp = cache.root / "oldstamp"
+        legacy_stamp.mkdir(parents=True)
+        (legacy_stamp / ("a" * 64)).with_suffix(".pkl").write_bytes(
+            pickle.dumps({"legacy": True})
+        )
+        (cache.root / "rootlevel.pkl").write_bytes(pickle.dumps(1))
+        info = cache.info()
+        assert info["entries"] == 0
+        assert info["stale_entries"] == 2
+        assert info["trace_entries"] == 0
+
+    def test_unexpected_files_are_ignored_not_fatal(self, cache):
+        stamp_dir = cache.root / cache.stamp
+        stamp_dir.mkdir(parents=True)
+        (stamp_dir / "leftover.tmp").write_bytes(b"partial write")
+        (cache.root / "README.txt").write_text("hands off")
+        (stamp_dir / "nested").mkdir()
+        info = cache.info()
+        assert info["entries"] == 0
+        assert info["stale_entries"] == 0
+
+    def test_counts_trace_artifacts(self, cache):
+        traces = cache.trace_dir()
+        traces.mkdir(parents=True)
+        (traces / "PVC-CABA-BDI.json").write_text("{}\n")
+        (traces / "PVC-CABA-BDI.csv").write_text("kind,name\n")
+        stale = cache.root / "oldstamp" / "traces"
+        stale.mkdir(parents=True)
+        (stale / "old.json").write_text("{}\n")
+        info = cache.info()
+        assert info["trace_entries"] == 2
+        assert info["stale_trace_entries"] == 1
+        assert info["trace_bytes"] > 0
+
+    def test_cli_cache_info_reports_traces(self, cache, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(cache.root))
+        traces = cache.trace_dir()
+        traces.mkdir(parents=True)
+        (traces / "t.json").write_text("{}\n")
+        monkeypatch.setattr("repro.harness.cache.version_stamp",
+                            lambda: cache.stamp)
+        assert main(["cache", "info"]) == 0
+        out = capsys.readouterr().out
+        assert "trace files   : 1" in out
+        assert "trace size" in out
+
+
+class TestClear:
+    def test_clear_removes_traces_too(self, cache):
+        traces = cache.trace_dir()
+        traces.mkdir(parents=True)
+        (traces / "t.json").write_text("{}\n")
+        stamp_dir = cache.root / cache.stamp
+        (stamp_dir / "run.pkl").write_bytes(pickle.dumps(1))
+        assert cache.clear() == 2
+        assert not list(cache.root.rglob("*"))
+
+
+class TestPutOverwrite:
+    class _Spec:
+        def canonical(self):
+            return "spec"
+
+    class _Result:
+        raw = None
+
+        def __init__(self, tag):
+            self.tag = tag
+
+    def test_default_put_keeps_existing_entry(self, cache):
+        spec = self._Spec()
+        cache.put(spec, self._Result("first"))
+        cache.put(spec, self._Result("second"))
+        assert cache.get(spec).tag == "first"
+
+    def test_overwrite_replaces_entry(self, cache):
+        spec = self._Spec()
+        cache.put(spec, self._Result("first"))
+        cache.put(spec, self._Result("upgraded"), overwrite=True)
+        assert cache.get(spec).tag == "upgraded"

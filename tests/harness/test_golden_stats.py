@@ -1,0 +1,98 @@
+"""Golden-stats regression suite.
+
+Pins the scalar statistics of representative runs byte-exactly against
+``tests/fixtures/golden_stats.json``. The simulator is deterministic, so
+any drift here means a behavioural change — which is either a bug, or an
+intentional change that must regenerate the fixture:
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest \
+        tests/harness/test_golden_stats.py -q
+
+Floats are stored via ``repr`` so the comparison is exact, not
+tolerance-based.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro import design as designs
+from repro.gpu.config import GPUConfig
+from repro.harness.runner import clear_caches, run_app
+from repro.workloads.tracegen import TraceScale
+
+FIXTURE = Path(__file__).parent.parent / "fixtures" / "golden_stats.json"
+SCALE = TraceScale(work=0.25, waves=0.25)
+
+APPS = ("PVC", "MM", "CONS")
+ALGORITHMS = ("none", "bdi", "fpc", "cpack", "bestofall")
+
+
+def _design_for(algorithm):
+    if algorithm == "none":
+        return designs.base()
+    return designs.caba(algorithm)
+
+
+def _snapshot(run):
+    """Byte-exact scalar summary of a run (floats via repr)."""
+    return {
+        "design": run.design,
+        "cycles": run.cycles,
+        "ipc": repr(run.ipc),
+        "instructions": run.instructions,
+        "assist_instructions": run.assist_instructions,
+        "bandwidth_utilization": repr(run.bandwidth_utilization),
+        "compression_ratio": repr(run.compression_ratio),
+        "energy_total": repr(run.energy.total),
+        "slot_breakdown": {slot.name: repr(value)
+                           for slot, value in run.slot_breakdown.items()},
+        "dram_bursts": dict(run.dram_bursts),
+        "l2_hit_rate": repr(run.l2_hit_rate),
+        "lines_compressed": run.lines_compressed,
+        "occupancy_blocks": run.occupancy_blocks,
+    }
+
+
+def _load_golden():
+    if not FIXTURE.exists():
+        pytest.fail(f"missing fixture {FIXTURE}; regenerate with "
+                    "REPRO_REGEN_GOLDEN=1")
+    return json.loads(FIXTURE.read_text())
+
+
+_regen: dict = {}
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("app", APPS)
+def test_golden_stats(app, algorithm):
+    # The observed compression ratio is an aggregate over the shared
+    # per-process line-info cache, so snapshots must come from a cold
+    # run to be independent of test order.
+    clear_caches()
+    run = run_app(app, _design_for(algorithm), GPUConfig.small(),
+                  scale=SCALE, use_cache=False)
+    snapshot = _snapshot(run)
+    key = f"{app}/{algorithm}"
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        _regen[key] = snapshot
+        FIXTURE.parent.mkdir(parents=True, exist_ok=True)
+        golden = json.loads(FIXTURE.read_text()) if FIXTURE.exists() else {}
+        golden[key] = snapshot
+        FIXTURE.write_text(json.dumps(golden, indent=2, sort_keys=True)
+                           + "\n")
+        return
+    golden = _load_golden()
+    assert key in golden, f"fixture has no entry for {key}; regenerate"
+    assert snapshot == golden[key]
+
+
+def test_fixture_covers_full_matrix():
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        pytest.skip("regenerating")
+    golden = _load_golden()
+    expected = {f"{app}/{alg}" for app in APPS for alg in ALGORITHMS}
+    assert set(golden) == expected

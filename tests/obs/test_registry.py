@@ -1,0 +1,100 @@
+"""Unit tests for the metrics registry (counters and histograms)."""
+
+import pytest
+
+from repro.obs.registry import Counter, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_inc_and_set(self):
+        c = Counter("x")
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        c.set(42)
+        assert c.value == 42
+
+
+class TestHistogram:
+    def test_power_of_two_binning(self):
+        h = Histogram("lat")
+        h.record(0)
+        h.record(1)
+        h.record(2)
+        h.record(3)
+        h.record(4)
+        # value 0 -> bin 0; 1 -> bin 1; 2-3 -> bin 2; 4-7 -> bin 3.
+        assert h.bins[0] == 1
+        assert h.bins[1] == 1
+        assert h.bins[2] == 2
+        assert h.bins[3] == 1
+        assert h.count == 5
+        assert h.total == 10
+        assert h.min == 0 and h.max == 4
+        assert h.mean == 2.0
+
+    def test_negative_values_clamp_to_zero(self):
+        h = Histogram("lat")
+        h.record(-7)
+        assert h.bins[0] == 1
+        assert h.total == 0
+
+    def test_overflow_bin(self):
+        h = Histogram("lat")
+        h.record(2 ** 40)
+        assert h.bins[Histogram.N_BINS] == 1
+
+    def test_weighted_record(self):
+        h = Histogram("lat")
+        h.record(8, n=3)
+        assert h.count == 3
+        assert h.total == 24
+
+    def test_export_trims_trailing_bins(self):
+        h = Histogram("lat")
+        h.record(5)
+        exported = h.export()
+        assert exported["bins"][-1] != 0
+        assert len(exported["bins"]) <= Histogram.N_BINS + 1
+        assert exported["count"] == 1
+        assert exported["min"] == 5 and exported["max"] == 5
+
+    def test_empty_export(self):
+        exported = Histogram("lat").export()
+        assert exported == {"count": 0, "total": 0, "min": 0, "max": 0,
+                            "bins": [0]}
+
+
+class TestMetricsRegistry:
+    def test_create_on_first_use(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.counter("a").inc()
+        assert reg.counter("a").value == 2
+        reg.histogram("h").record(3)
+        assert reg.histogram("h").count == 1
+
+    def test_set_counters_prefixes_and_coerces(self):
+        reg = MetricsRegistry()
+        reg.set_counters("dram", {"reads": 7, "writes": 2.0})
+        exported = reg.export()["counters"]
+        assert exported == {"dram.reads": 7, "dram.writes": 2}
+        assert isinstance(exported["dram.writes"], int)
+
+    def test_export_is_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("zeta").inc()
+        reg.counter("alpha").inc()
+        assert list(reg.export()["counters"]) == ["alpha", "zeta"]
+
+    def test_csv_round_trips_every_metric(self):
+        reg = MetricsRegistry()
+        reg.counter("c").set(9)
+        reg.histogram("h").record(2)
+        csv = reg.to_csv()
+        lines = csv.strip().splitlines()
+        assert lines[0] == "kind,name,field,value"
+        assert "counter,c,value,9" in lines
+        assert "histogram,h,count,1" in lines
+        assert any(line.startswith("histogram,h,bin") for line in lines)

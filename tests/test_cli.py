@@ -80,3 +80,46 @@ class TestCompress:
         path.write_bytes(bytes(100))
         assert main(["compress", str(path), "--line-size", "64"]) == 0
         assert "2 lines" in capsys.readouterr().out
+
+
+class TestExitCodes:
+    def test_unknown_subcommand_exits_nonzero_with_usage(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["frobnicate"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "usage:" in err
+        assert "frobnicate" in err
+
+    def test_no_arguments_exits_nonzero_with_usage(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([])
+        assert excinfo.value.code == 2
+        assert "usage:" in capsys.readouterr().err
+
+    def test_known_commands_are_dispatchable(self):
+        from repro.cli import _COMMANDS
+
+        for command in ("run", "trace", "compare", "figure", "compress",
+                        "cache", "list-apps"):
+            assert command in _COMMANDS
+
+
+class TestTrace:
+    def test_trace_writes_artifacts_and_prints_table(self, tmp_path,
+                                                     capsys):
+        out_dir = tmp_path / "traces"
+        assert main(["trace", "PVC", "--design", "caba",
+                     "--out", str(out_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "category" in out and "share" in out
+        assert "total" in out
+        written = sorted(p.name for p in out_dir.iterdir())
+        assert written == ["PVC-CABA-BDI.csv", "PVC-CABA-BDI.json"]
+
+    def test_trace_chrome_flag_adds_chrome_file(self, tmp_path, capsys):
+        out_dir = tmp_path / "traces"
+        assert main(["trace", "PVC", "--design", "caba", "--chrome",
+                     "--out", str(out_dir)]) == 0
+        names = sorted(p.name for p in out_dir.iterdir())
+        assert "PVC-CABA-BDI.chrome.json" in names
