@@ -20,6 +20,11 @@ Measures the three paths the perf work targets:
   checked-in baseline: the observability hooks are designed to be free
   when disabled, so tracing-disabled wall time must stay within 3% of
   the recorded ``after`` numbers.
+* ``engine_dispatch`` — a multi-spec batch through the fault-tolerant
+  per-future engine vs. a raw ``pool.map`` of the same batch, measured
+  back to back in the same process. Gated: the engine's retry/timeout
+  bookkeeping must keep dispatch within 3% of the ``pool.map``
+  baseline.
 
 Simulator results are merged into ``BENCH_runner.json`` under
 ``--label``; the compression sections are written to
@@ -109,10 +114,51 @@ def bench_trace_overhead(sim_record: dict, repeats: int) -> dict:
     return out
 
 
-def check_runner(sim_record: dict, baseline_sim: dict) -> list[str]:
-    """Gate: tracing-disabled sim time within 3% of the checked-in
-    baseline (the observability layer must be free when off)."""
+def bench_engine_dispatch(repeats: int) -> dict:
+    """Fault-tolerant per-future dispatch vs. raw ``pool.map``.
+
+    Both paths run the identical cold spec batch on two workers; the
+    ratio isolates the engine's submission/retry/timeout bookkeeping,
+    since the simulation work is the same on either side.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+
+    from repro.harness import parallel
+
+    config = GPUConfig.small()
+    scale = TraceScale(work=0.25)
+    points = [designs.base(), designs.caba("bdi")]
+    specs = [RunSpec(app, point, config, scale)
+             for app in SWEEP_APPS for point in points]
+    map_best = engine_best = float("inf")
+    for _ in range(repeats):
+        clear_caches()
+        start = time.perf_counter()
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            list(pool.map(parallel._worker_run, specs))
+        map_best = min(map_best, time.perf_counter() - start)
+    for _ in range(repeats):
+        clear_caches()
+        start = time.perf_counter()
+        with parallel.ExperimentEngine(jobs=2, retries=0) as engine:
+            engine.run_many(specs)
+        engine_best = min(engine_best, time.perf_counter() - start)
+    clear_caches()
+    return {
+        "specs": len(specs),
+        "jobs": 2,
+        "map_seconds": round(map_best, 4),
+        "engine_seconds": round(engine_best, 4),
+        "overhead": round(engine_best / map_best, 3),
+    }
+
+
+def check_runner(record: dict, baseline_sim: dict) -> list[str]:
+    """Gates: tracing-disabled sim time within 3% of the checked-in
+    baseline (the observability layer must be free when off), and
+    per-future engine dispatch within 3% of the pool.map baseline."""
     failures = []
+    sim_record = record["sim"]
     for key in sorted(set(sim_record) & set(baseline_sim)):
         now = sim_record[key]["seconds"]
         base = baseline_sim[key]["seconds"]
@@ -122,6 +168,13 @@ def check_runner(sim_record: dict, baseline_sim: dict) -> list[str]:
                 f"budget over baseline {base:.3f}s "
                 f"({now / base - 1:+.1%})"
             )
+    dispatch = record.get("engine_dispatch", {})
+    if dispatch and dispatch["overhead"] > 1.03:
+        failures.append(
+            f"engine dispatch {dispatch['engine_seconds']:.3f}s exceeds "
+            f"3% budget over pool.map {dispatch['map_seconds']:.3f}s "
+            f"({dispatch['overhead'] - 1:+.1%})"
+        )
     return failures
 
 
@@ -281,6 +334,7 @@ def main() -> int:
             "trace_overhead": bench_trace_overhead(sim, args.repeats),
             "bdi": bench_bdi(args.bdi_lines, args.repeats),
             "subroutines": bench_subroutines(args.repeats),
+            "engine_dispatch": bench_engine_dispatch(args.repeats),
         }
 
         merged = {}
@@ -304,7 +358,7 @@ def main() -> int:
         print(json.dumps(record, indent=2))
         print(f"wrote {args.out} [{args.label}]")
 
-        runner_failures = check_runner(sim, baseline_sim)
+        runner_failures = check_runner(record, baseline_sim)
         for failure in runner_failures:
             print(f"REGRESSION: {failure}")
         if runner_failures:

@@ -9,12 +9,21 @@ Usage:
     python scripts/run_experiments.py [--config small|medium|full]
                                       [--out results.json]
                                       [--only fig7,fig8,...]
-                                      [--jobs N]
+                                      [--jobs N] [--retries N]
+                                      [--timeout SECONDS]
 
 ``--jobs N`` (or ``REPRO_JOBS=N``) fans the simulation matrix out over
 N worker processes; results are identical to a serial run. Completed
 runs are persisted in the on-disk cache (``REPRO_CACHE_DIR``), so
 re-invocations skip simulation entirely.
+
+Execution is fault tolerant: failed runs retry (``--retries`` /
+``REPRO_RETRIES``), hung workers are cancelled after ``--timeout`` /
+``REPRO_RUN_TIMEOUT`` seconds, and an experiment whose batch still has
+failures is reported (with the per-spec failure list) while the
+remaining experiments keep running; the script then exits non-zero.
+Completed sibling runs stay checkpointed, so a rerun only redoes the
+failures.
 """
 
 from __future__ import annotations
@@ -81,36 +90,73 @@ def main() -> int:
     parser.add_argument("--jobs", type=_jobs_arg, default=None,
                         help="simulation worker processes "
                              "(default: REPRO_JOBS or 1)")
+    parser.add_argument("--retries", type=int, default=None,
+                        help="retry budget per failed run "
+                             "(default: REPRO_RETRIES or 1)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-run wall-clock timeout in seconds "
+                             "(default: REPRO_RUN_TIMEOUT; 0 disables)")
     args = parser.parse_args()
 
-    engine = parallel.configure(jobs=args.jobs)
+    engine = parallel.configure(jobs=args.jobs, retries=args.retries,
+                                timeout=args.timeout)
     config = CONFIGS[args.config]()
     wanted = set(args.only.split(",")) if args.only else None
     dump = {"config": args.config, "jobs": engine.jobs}
+    failed: dict[str, parallel.ExperimentFailure] = {}
 
-    for name, thunk in experiment_matrix(config):
-        if wanted is not None and name not in wanted:
-            continue
-        start = time.time()
-        result = thunk()
-        elapsed = time.time() - start
-        print()
-        print(render_table(result))
-        print(f"[{name} took {elapsed:.1f}s]")
-        sys.stdout.flush()
-        dump[name] = {
-            "title": result.title,
-            "columns": result.columns,
-            "rows": result.rows,
-            "summary": result.summary,
-            "seconds": round(elapsed, 1),
-        }
+    # The worker pool must come down on every exit path — an exception
+    # or Ctrl-C mid-experiment must not leave orphaned workers behind.
+    try:
+        for name, thunk in experiment_matrix(config):
+            if wanted is not None and name not in wanted:
+                continue
+            start = time.time()
+            try:
+                result = thunk()
+            except parallel.ExperimentFailure as exc:
+                # Completed sibling runs of this experiment are already
+                # checkpointed; report, keep going with the rest.
+                elapsed = time.time() - start
+                print(f"\n[{name} FAILED after {elapsed:.1f}s]")
+                print(exc)
+                sys.stdout.flush()
+                failed[name] = exc
+                dump[name] = {
+                    "failed": True,
+                    "failures": [f.describe() for f in exc.failures],
+                    "seconds": round(elapsed, 1),
+                }
+                continue
+            elapsed = time.time() - start
+            print()
+            print(render_table(result))
+            print(f"[{name} took {elapsed:.1f}s]")
+            sys.stdout.flush()
+            dump[name] = {
+                "title": result.title,
+                "columns": result.columns,
+                "rows": result.rows,
+                "summary": result.summary,
+                "seconds": round(elapsed, 1),
+            }
+    except KeyboardInterrupt:
+        print("\ninterrupted; shutting worker pool down", file=sys.stderr)
+        return 130
+    finally:
+        parallel.shutdown()
 
     if args.out:
         with open(args.out, "w") as fh:
             json.dump(dump, fh, indent=2, default=str)
         print(f"\nwrote {args.out}")
-    parallel.shutdown()
+    if failed:
+        print(f"\n{len(failed)} experiment(s) incomplete: "
+              f"{', '.join(sorted(failed))}", file=sys.stderr)
+        for name in sorted(failed):
+            print(f"  {name}: {len(failed[name].failures)} failed run(s)",
+                  file=sys.stderr)
+        return 1
     return 0
 
 

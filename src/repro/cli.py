@@ -7,7 +7,9 @@ Commands:
     compare APP          compare all five Figure-7 designs on one app
     figure ID            regenerate one paper figure/table
     compress FILE|-      compress raw bytes line by line and report ratios
-    cache info|clear     inspect or empty the persistent run cache
+    cache info|clear|sweep
+                         inspect, empty, or sweep leftover temp files
+                         from the persistent run cache
 
 The CLI is a thin layer over the public API (``repro.run_app``,
 ``repro.harness.figures``), so everything it prints is reproducible from
@@ -110,6 +112,12 @@ def _build_parser() -> argparse.ArgumentParser:
     fig_p.add_argument("--jobs", type=_jobs_arg, default=None,
                        help="simulation worker processes "
                             "(default: REPRO_JOBS or 1)")
+    fig_p.add_argument("--retries", type=int, default=None,
+                       help="retry budget per failed run "
+                            "(default: REPRO_RETRIES or 1)")
+    fig_p.add_argument("--timeout", type=float, default=None,
+                       help="per-run wall-clock timeout in seconds "
+                            "(default: REPRO_RUN_TIMEOUT; 0 disables)")
 
     comp_p = sub.add_parser(
         "compress", help="compress a file's bytes line by line"
@@ -120,7 +128,7 @@ def _build_parser() -> argparse.ArgumentParser:
     cache_p = sub.add_parser(
         "cache", help="inspect or clear the persistent run cache"
     )
-    cache_p.add_argument("action", choices=("info", "clear"))
+    cache_p.add_argument("action", choices=("info", "clear", "sweep"))
     return parser
 
 
@@ -215,11 +223,19 @@ def _cmd_compare(args) -> int:
 def _cmd_figure(args) -> int:
     from repro.harness import parallel
 
-    parallel.configure(jobs=args.jobs)
-    config = CONFIGS[args.config]()
-    result = FIGURES[args.id](config)
+    parallel.configure(jobs=args.jobs, retries=args.retries,
+                       timeout=args.timeout)
+    try:
+        config = CONFIGS[args.config]()
+        result = FIGURES[args.id](config)
+    except parallel.ExperimentFailure as exc:
+        # Completed sibling runs are already checkpointed; report the
+        # losers and exit non-zero so CI notices.
+        print(f"error: {args.id} incomplete\n{exc}", file=sys.stderr)
+        return 1
+    finally:
+        parallel.shutdown()
     print(render_table(result))
-    parallel.shutdown()
     return 0
 
 
@@ -240,8 +256,15 @@ def _cmd_cache(args) -> int:
         print(f"trace files   : {info['trace_entries']} "
               f"({info['stale_trace_entries']} stale)")
         print(f"trace size    : {info['trace_bytes'] / 1024:.1f} KiB")
+        print(f"tmp leftovers : {info['tmp_entries']} "
+              f"({info['tmp_bytes'] / 1024:.1f} KiB; "
+              f"'cache sweep' removes them)")
         if not cache_enabled():
             print("note: persistent caching is disabled (REPRO_CACHE=0)")
+        return 0
+    if args.action == "sweep":
+        removed = cache.sweep_tmp()
+        print(f"swept {removed} leftover .tmp file(s) from {cache.root}")
         return 0
     removed = cache.clear()
     print(f"removed {removed} cached runs from {cache.root}")

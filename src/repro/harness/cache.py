@@ -34,25 +34,33 @@ import tempfile
 from pathlib import Path
 
 #: Bump manually on cache-format changes (key scheme, pickle layout).
-CACHE_FORMAT = 1
+#: 2: stamp hashes package-relative paths, not bare file names (a module
+#:    moved between subpackages with unchanged content now restamps).
+CACHE_FORMAT = 2
 
 _version_stamp: str | None = None
 
 
-def _iter_package_sources() -> list[Path]:
-    package_root = Path(__file__).resolve().parent.parent
-    return sorted(package_root.rglob("*.py"))
+def compute_stamp(package_root: Path) -> str:
+    """Stamp of one package tree: every ``*.py`` hashed with its
+    package-relative posix path. Bare names would make each
+    ``__init__.py`` contribute identically and miss moves between
+    subpackages."""
+    digest = hashlib.sha256(f"format:{CACHE_FORMAT}".encode())
+    for path in sorted(package_root.rglob("*.py")):
+        rel = path.relative_to(package_root.parent).as_posix()
+        digest.update(rel.encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+    return digest.hexdigest()[:16]
 
 
 def version_stamp() -> str:
     """Hash of the whole ``repro`` package source (computed once)."""
     global _version_stamp
     if _version_stamp is None:
-        digest = hashlib.sha256(f"format:{CACHE_FORMAT}".encode())
-        for path in _iter_package_sources():
-            digest.update(path.name.encode())
-            digest.update(path.read_bytes())
-        _version_stamp = digest.hexdigest()[:16]
+        package_root = Path(__file__).resolve().parent.parent
+        _version_stamp = compute_stamp(package_root)
     return _version_stamp
 
 
@@ -174,7 +182,8 @@ class RunCache:
         current = stale = 0
         plane_current = plane_stale = 0
         trace_current = trace_stale = 0
-        total_bytes = plane_bytes = trace_bytes = 0
+        tmp_entries = 0
+        total_bytes = plane_bytes = trace_bytes = tmp_bytes = 0
         if self.root.exists():
             for path in self.root.rglob("*"):
                 try:
@@ -183,6 +192,13 @@ class RunCache:
                     size = path.stat().st_size
                 except OSError:
                     continue  # racing deletion / unreadable entry
+                if path.suffix == ".tmp":
+                    # Leftover atomic-write temp from a killed worker:
+                    # never a real plane/trace/run entry, whatever
+                    # directory it sits in.
+                    tmp_entries += 1
+                    tmp_bytes += size
+                    continue
                 try:
                     in_stamp = (
                         path.relative_to(self.root).parts[0] == self.stamp
@@ -220,7 +236,27 @@ class RunCache:
             "trace_entries": trace_current,
             "stale_trace_entries": trace_stale,
             "trace_bytes": trace_bytes,
+            "tmp_entries": tmp_entries,
+            "tmp_bytes": tmp_bytes,
         }
+
+    def sweep_tmp(self) -> int:
+        """Remove leftover ``.tmp`` files (interrupted atomic writes
+        from killed workers, any stamp); returns the number removed.
+        Safe to run while workers are live only in the sense that an
+        in-flight temp file may be swept and its write lost — the
+        worker's ``os.replace`` then fails and that run re-simulates."""
+        removed = 0
+        if not self.root.exists():
+            return 0
+        for path in self.root.rglob("*.tmp"):
+            try:
+                if path.is_file():
+                    path.unlink()
+                    removed += 1
+            except OSError:
+                pass
+        return removed
 
     def clear(self) -> int:
         """Delete every cached entry and trace artifact (all stamps);

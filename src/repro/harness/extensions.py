@@ -277,7 +277,7 @@ def md_cache_sweep(
         for app in apps:
             specs.append(RunSpec(app, designs.base(), cfg))
             specs.append(RunSpec(app, designs.caba(), cfg))
-    runs = iter(run_specs(specs))
+    runs = iter(run_specs(specs, label="mdsweep"))
     for size_kb in sizes_kb:
         rates, speedups = [], []
         for app in apps:
@@ -323,7 +323,7 @@ def scheduler_study(
         for app in apps:
             specs.append(RunSpec(app, designs.base(), cfg))
             specs.append(RunSpec(app, designs.caba(), cfg))
-    runs = iter(run_specs(specs))
+    runs = iter(run_specs(specs, label="scheduler"))
     for policy in policies:
         ipcs, speedups = [], []
         for app in apps:
@@ -390,7 +390,7 @@ def ablation_study(
         for app in apps:
             specs.append(RunSpec(app, designs.base(), config))
             specs.append(RunSpec(app, point, config, params=params))
-    runs = iter(run_specs(specs))
+    runs = iter(run_specs(specs, label="ablations"))
     for label, params in variants:
         speedups = []
         compressed = uncompressed = 0

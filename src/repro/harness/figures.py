@@ -72,7 +72,7 @@ def fig1_cycle_breakdown(
     runs = iter(run_specs([
         RunSpec(name, designs.base(), config.with_bandwidth_scale(scale))
         for name in apps for scale in bw_scales
-    ]))
+    ], label="fig1"))
     for name in apps:
         app = get_app(name)
         for scale in bw_scales:
@@ -172,15 +172,17 @@ def _design_study(
     config: GPUConfig,
     apps: Sequence[str],
     points: Sequence[DesignPoint],
+    label: str | None = None,
 ) -> dict[str, dict[str, RunResult]]:
     """Run every app under every design; results keyed [app][design].
 
     The full (app x design) matrix is enumerated up front and submitted
     through the shared parallel engine, so independent points simulate
-    concurrently when the engine has workers."""
+    concurrently when the engine has workers. ``label`` names the
+    calling figure in failure reports."""
     results = run_specs([
         RunSpec(name, point, config) for name in apps for point in points
-    ])
+    ], label=label)
     table: dict[str, dict[str, RunResult]] = {}
     it = iter(results)
     for name in apps:
@@ -202,7 +204,7 @@ def fig7_performance(
         designs.caba(algorithm),
         designs.ideal(algorithm),
     )
-    runs = _design_study(config, apps, points)
+    runs = _design_study(config, apps, points, label="fig7")
     names = [p.name for p in points]
     result = FigureResult(
         figure="fig7",
@@ -241,7 +243,7 @@ def fig8_bandwidth(
         designs.caba(algorithm),
         designs.ideal(algorithm),
     )
-    runs = _design_study(config, apps, points)
+    runs = _design_study(config, apps, points, label="fig8")
     names = [p.name for p in points]
     result = FigureResult(
         figure="fig8",
@@ -278,7 +280,7 @@ def fig9_energy(
         designs.caba(algorithm),
         designs.ideal(algorithm),
     )
-    runs = _design_study(config, apps, points)
+    runs = _design_study(config, apps, points, label="fig9")
     names = [p.name for p in points]
     result = FigureResult(
         figure="fig9",
@@ -346,7 +348,7 @@ def fig10_algorithms(
     points = [designs.base()] + [designs.caba(a) for a in algorithms]
     runs = iter(run_specs([
         RunSpec(app, point, config) for app in apps for point in points
-    ]))
+    ], label="fig10"))
     for app in apps:
         base = next(runs)
         row = {"app": app}
@@ -458,7 +460,7 @@ def fig12_bw_sensitivity(
             scaled = config.with_bandwidth_scale(scale)
             specs.append(RunSpec(app, designs.base(), scaled))
             specs.append(RunSpec(app, designs.caba(algorithm), scaled))
-    runs = iter(run_specs(specs))
+    runs = iter(run_specs(specs, label="fig12"))
     for app in apps:
         ref = next(runs)
         row = {"app": app}
@@ -505,7 +507,7 @@ def fig13_cache_compression(
     per_design: dict[str, list[float]] = {n: [] for n in names}
     runs = iter(run_specs([
         RunSpec(app, point, config) for app in apps for point in points
-    ]))
+    ], label="fig13"))
     for app in apps:
         by_point = [next(runs) for _ in points]
         baseline = by_point[0]
@@ -571,7 +573,7 @@ def md_cache_study(
     rates = []
     runs = iter(run_specs([
         RunSpec(app, designs.caba(algorithm), config) for app in apps
-    ]))
+    ], label="mdcache"))
     for app in apps:
         run = next(runs)
         if run.md_cache_hit_rate is None:

@@ -16,6 +16,12 @@ same (app, algorithm) pair.
 A :class:`RunSpec` is the picklable identity of one run; it is both the
 cache key and the unit of work the parallel engine
 (:mod:`repro.harness.parallel`) ships to worker processes.
+
+The persistent cache doubles as the engine's checkpoint store: a pool
+worker persists its result from inside ``run_spec`` and the parent
+re-records it via :func:`record_result` the moment the future lands,
+so a crashed, killed or interrupted sweep keeps every completed run
+and a rerun only redoes the failures.
 """
 
 from __future__ import annotations

@@ -12,7 +12,7 @@ import pickle
 import pytest
 
 from repro.cli import main
-from repro.harness.cache import RunCache
+from repro.harness.cache import RunCache, compute_stamp
 
 
 @pytest.fixture
@@ -49,6 +49,23 @@ class TestInfoTolerance:
         info = cache.info()
         assert info["entries"] == 0
         assert info["stale_entries"] == 0
+        assert info["tmp_entries"] == 1
+        assert info["tmp_bytes"] > 0
+
+    def test_tmp_files_never_count_as_plane_or_trace_entries(self, cache):
+        """A killed worker's atomic-write leftover in planes/ or traces/
+        is a tmp entry, not a plane/trace entry."""
+        planes = cache.root / cache.stamp / "planes"
+        planes.mkdir(parents=True)
+        (planes / "tmpabc123.tmp").write_bytes(b"half a plane")
+        (planes / ("b" * 64 + ".pkl")).write_bytes(pickle.dumps(1))
+        traces = cache.trace_dir()
+        traces.mkdir(parents=True)
+        (traces / "tmpdef456.tmp").write_bytes(b"half a trace")
+        info = cache.info()
+        assert info["plane_entries"] == 1
+        assert info["trace_entries"] == 0
+        assert info["tmp_entries"] == 2
 
     def test_counts_trace_artifacts(self, cache):
         traces = cache.trace_dir()
@@ -85,6 +102,80 @@ class TestClear:
         (stamp_dir / "run.pkl").write_bytes(pickle.dumps(1))
         assert cache.clear() == 2
         assert not list(cache.root.rglob("*"))
+
+    def test_clear_removes_tmp_leftovers(self, cache):
+        stamp_dir = cache.root / cache.stamp
+        stamp_dir.mkdir(parents=True)
+        (stamp_dir / "tmpzzz.tmp").write_bytes(b"x")
+        assert cache.clear() == 1
+        assert not list(cache.root.rglob("*"))
+
+
+class TestSweepTmp:
+    def test_sweep_removes_only_tmp_files(self, cache):
+        stamp_dir = cache.root / cache.stamp
+        planes = stamp_dir / "planes"
+        planes.mkdir(parents=True)
+        (stamp_dir / "run.pkl").write_bytes(pickle.dumps(1))
+        (stamp_dir / "tmpaaa.tmp").write_bytes(b"x")
+        (planes / "tmpbbb.tmp").write_bytes(b"y")
+        stale = cache.root / "oldstamp"
+        stale.mkdir()
+        (stale / "tmpccc.tmp").write_bytes(b"z")
+        assert cache.sweep_tmp() == 3
+        assert (stamp_dir / "run.pkl").exists()
+        assert cache.info()["tmp_entries"] == 0
+
+    def test_sweep_on_missing_root_is_zero(self, tmp_path):
+        assert RunCache(root=tmp_path / "nope", stamp="s").sweep_tmp() == 0
+
+    def test_cli_cache_sweep(self, cache, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(cache.root))
+        stamp_dir = cache.root / cache.stamp
+        stamp_dir.mkdir(parents=True)
+        (stamp_dir / "tmpq.tmp").write_bytes(b"x")
+        assert main(["cache", "sweep"]) == 0
+        assert "swept 1" in capsys.readouterr().out
+        assert not (stamp_dir / "tmpq.tmp").exists()
+
+    def test_cli_cache_info_reports_tmp(self, cache, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(cache.root))
+        stamp_dir = cache.root / cache.stamp
+        stamp_dir.mkdir(parents=True)
+        (stamp_dir / "tmpq.tmp").write_bytes(b"x")
+        assert main(["cache", "info"]) == 0
+        assert "tmp leftovers : 1" in capsys.readouterr().out
+
+
+class TestVersionStamp:
+    """The stamp must hash package-relative paths: a module moved
+    between subpackages with unchanged content is a code change."""
+
+    @staticmethod
+    def _tree(root, files):
+        pkg = root / "pkg"
+        for rel, content in files.items():
+            path = pkg / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(content)
+        return pkg
+
+    def test_identical_trees_share_a_stamp(self, tmp_path):
+        files = {"a/__init__.py": "", "a/mod.py": "X = 1\n"}
+        one = self._tree(tmp_path / "one", files)
+        two = self._tree(tmp_path / "two", files)
+        assert compute_stamp(one) == compute_stamp(two)
+
+    def test_moving_a_module_changes_the_stamp(self, tmp_path):
+        common = {"a/__init__.py": "", "b/__init__.py": ""}
+        one = self._tree(tmp_path / "one", {**common, "a/mod.py": "X = 1\n"})
+        two = self._tree(tmp_path / "two", {**common, "b/mod.py": "X = 1\n"})
+        assert compute_stamp(one) != compute_stamp(two)
+
+    def test_content_change_changes_the_stamp(self, tmp_path):
+        one = self._tree(tmp_path / "one", {"a/mod.py": "X = 1\n"})
+        two = self._tree(tmp_path / "two", {"a/mod.py": "X = 2\n"})
+        assert compute_stamp(one) != compute_stamp(two)
 
 
 class TestPutOverwrite:
