@@ -96,7 +96,22 @@ def main() -> int:
     parser.add_argument("--timeout", type=float, default=None,
                         help="per-run wall-clock timeout in seconds "
                              "(default: REPRO_RUN_TIMEOUT; 0 disables)")
+    parser.add_argument("--verify", action="store_true",
+                        help="run the quick differential correctness "
+                             "harness (repro check --quick) before any "
+                             "experiment; abort if it fails")
     args = parser.parse_args()
+
+    if args.verify:
+        from repro.verify import run_checks
+
+        report = run_checks(lines=32, apps=("PVC",))
+        print(report.render())
+        sys.stdout.flush()
+        if not report.ok:
+            print("verification failed; not running experiments",
+                  file=sys.stderr)
+            return 1
 
     engine = parallel.configure(jobs=args.jobs, retries=args.retries,
                                 timeout=args.timeout)

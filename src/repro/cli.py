@@ -10,6 +10,9 @@ Commands:
     cache info|clear|sweep
                          inspect, empty, or sweep leftover temp files
                          from the persistent run cache
+    check                differential correctness harness: round-trip
+                         fuzzing, cross-backend agreement, simulator
+                         conservation invariants
 
 The CLI is a thin layer over the public API (``repro.run_app``,
 ``repro.harness.figures``), so everything it prints is reproducible from
@@ -129,6 +132,37 @@ def _build_parser() -> argparse.ArgumentParser:
         "cache", help="inspect or clear the persistent run cache"
     )
     cache_p.add_argument("action", choices=("info", "clear", "sweep"))
+
+    check_p = sub.add_parser(
+        "check",
+        help="differential correctness harness: round-trip fuzzing, "
+             "cross-backend agreement, simulator conservation invariants",
+    )
+    check_p.add_argument("--seed", type=int, default=1,
+                         help="fuzzing seed (failures replay from it)")
+    check_p.add_argument("--lines", type=int, default=None,
+                         help="fuzzed lines per generator "
+                              "(default 256; --quick 32; --all 10000)")
+    check_p.add_argument("--apps", nargs="+", default=None,
+                         metavar="APP",
+                         help="app images for the differential and "
+                              "invariant passes")
+    check_p.add_argument("--algorithms", nargs="+", default=None,
+                         choices=sorted(ALGORITHMS), metavar="ALGO",
+                         help="algorithm subset (default: all five)")
+    check_p.add_argument("--skip-fuzz", action="store_true",
+                         help="skip the round-trip fuzzing pass")
+    check_p.add_argument("--skip-differential", action="store_true",
+                         help="skip the four-path differential pass")
+    check_p.add_argument("--skip-invariants", action="store_true",
+                         help="skip the simulation replay invariants")
+    check_p.add_argument("--quick", action="store_true",
+                         help="CI-sized pass: few lines, one app")
+    check_p.add_argument("--all", action="store_true", dest="full",
+                         help="acceptance pass: 10k lines per generator, "
+                              "full app/algorithm matrix")
+    check_p.add_argument("-v", "--verbose", action="store_true",
+                         help="list passing checks too")
     return parser
 
 
@@ -296,6 +330,46 @@ def _cmd_compress(args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    from repro.verify import run_checks
+
+    if args.quick and args.full:
+        print("error: --quick and --all are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    lines = args.lines
+    apps = args.apps
+    differential_apps = None
+    differential_lines = None
+    if args.quick:
+        lines = lines if lines is not None else 32
+        apps = apps if apps is not None else ["PVC"]
+    elif args.full:
+        lines = lines if lines is not None else 10_000
+        if apps is None:
+            # Acceptance scope: differential agreement on *every* app
+            # image; invariant replays stay on the golden trio.
+            differential_apps = sorted(APPLICATIONS)
+            differential_lines = 2048
+    elif lines is None:
+        lines = 256
+    for app in apps or ():
+        get_app(app)  # early, friendly error for bad names
+    report = run_checks(
+        seed=args.seed,
+        lines=lines,
+        apps=apps,
+        algorithms=args.algorithms,
+        fuzz=not args.skip_fuzz,
+        differential=not args.skip_differential,
+        invariants=not args.skip_invariants,
+        differential_apps=differential_apps,
+        differential_lines=differential_lines,
+    )
+    print(report.render(verbose=args.verbose))
+    return 0 if report.ok else 1
+
+
 _COMMANDS = {
     "list-apps": lambda args: _cmd_list_apps(),
     "run": _cmd_run,
@@ -304,6 +378,7 @@ _COMMANDS = {
     "figure": _cmd_figure,
     "compress": _cmd_compress,
     "cache": _cmd_cache,
+    "check": _cmd_check,
 }
 
 

@@ -20,6 +20,29 @@ from repro.compression.bdi import BdiCompressor
 from repro.compression.cpack import CPackCompressor
 from repro.compression.fpc import FpcCompressor
 
+#: Canonical tie-break priority for best-of-all selection. When two
+#: components compress a line to the same size, the component appearing
+#: earlier here wins — on the scalar path, the batch ``size_table``
+#: path *and* the plane-composition path, regardless of the order the
+#: caller supplied the components in. BDI leads because it is the
+#: paper's flagship algorithm (cheapest assist-warp decompression);
+#: names absent from the list rank after it in caller order. The
+#: differential suite (``repro.verify``) enforces that all paths agree.
+COMPONENT_PRIORITY: tuple[str, ...] = ("bdi", "fpc", "cpack", "fvc")
+
+#: Component set of the paper's CABA-BestOfAll design (Section 6.3),
+#: in priority order. ``harness.runner`` composes best-of-all planes
+#: from exactly these component planes.
+DEFAULT_COMPONENT_NAMES: tuple[str, ...] = ("bdi", "fpc", "cpack")
+
+
+def _priority_rank(name: str) -> int:
+    """Position of ``name`` in the canonical tie-break order."""
+    try:
+        return COMPONENT_PRIORITY.index(name)
+    except ValueError:
+        return len(COMPONENT_PRIORITY)
+
 
 def compose_size_tables(
     component_tables: Sequence[tuple[str, Sequence[tuple[int, str]]]],
@@ -27,15 +50,20 @@ def compose_size_tables(
 ) -> list[tuple[int, str]]:
     """Per-line best-of selection over component ``(size, encoding)`` tables.
 
-    Mirrors ``BestOfAllCompressor._compress_line`` exactly: the first
-    component (in order) with the strictly smallest size wins, and a
-    winner that failed to shrink the line reports plain
-    ``"uncompressed"`` rather than a tagged component encoding. Also
-    used to compose cached per-component planes into a best-of-all
-    plane without recompressing anything.
+    Mirrors ``BestOfAllCompressor._compress_line`` exactly: the
+    highest-priority component (see :data:`COMPONENT_PRIORITY`) with
+    the strictly smallest size wins, and a winner that failed to shrink
+    the line reports plain ``"uncompressed"`` rather than a tagged
+    component encoding. Also used to compose cached per-component
+    planes into a best-of-all plane without recompressing anything.
     """
     if not component_tables:
         raise CompressionError("need at least one component table")
+    # Canonical tie-break order: composition must not depend on the
+    # order the caller enumerated the component planes/tables in.
+    component_tables = sorted(
+        component_tables, key=lambda item: _priority_rank(item[0])
+    )
     n_lines = len(component_tables[0][1])
     out: list[tuple[int, str]] = []
     for i in range(n_lines):
@@ -84,7 +112,13 @@ class BestOfAllCompressor(CompressionAlgorithm):
             raise CompressionError(
                 f"components {mismatched} use a different line size"
             )
-        self.components = tuple(components)
+        # Store components in canonical priority order so the stable
+        # ``min`` in ``_compress_line`` breaks ties exactly like
+        # ``compose_size_tables`` does — the selector must not behave
+        # differently depending on how the caller ordered the list.
+        self.components = tuple(
+            sorted(components, key=lambda c: _priority_rank(c.name))
+        )
         self._by_name = {c.name: c for c in self.components}
 
     def _compress_line(self, data: bytes) -> CompressedLine:

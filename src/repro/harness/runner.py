@@ -30,6 +30,7 @@ import os
 from dataclasses import dataclass, field, replace
 from typing import Callable
 
+from repro.compression import bestofall as bestofall_mod
 from repro.compression import make_algorithm
 from repro.core.controller import CabaController
 from repro.core.params import CabaParams
@@ -202,7 +203,7 @@ def _plane_for(
     if algorithm_name == "bestofall":
         components = [
             (name, _plane_for(app, name, line_size, burst_bytes, extents))
-            for name in ("bdi", "fpc", "cpack")
+            for name in bestofall_mod.DEFAULT_COMPONENT_NAMES
         ]
         built = plane_mod.compose_best_of_all(
             components, line_size, burst_bytes, key

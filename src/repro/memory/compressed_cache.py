@@ -148,6 +148,40 @@ class CompressedCache:
             return True
         return False
 
+    def audit(self) -> list[str]:
+        """Check internal invariants; return a list of violation strings.
+
+        Empty list = healthy. Used by the ``repro check`` differential
+        harness to assert that no set ever exceeds its byte budget or
+        tag count and that the incremental ``_used`` accounting matches
+        a from-scratch re-sum of the entries.
+        """
+        problems: list[str] = []
+        for index, target in enumerate(self._sets):
+            actual = sum(entry.size for entry in target.values())
+            if actual != self._used[index]:
+                problems.append(
+                    f"set {index}: tracked used={self._used[index]} "
+                    f"but entries sum to {actual}"
+                )
+            if self._used[index] > self.data_budget:
+                problems.append(
+                    f"set {index}: used {self._used[index]} exceeds "
+                    f"data budget {self.data_budget}"
+                )
+            if len(target) > self.max_tags:
+                problems.append(
+                    f"set {index}: {len(target)} tags exceed "
+                    f"max_tags {self.max_tags}"
+                )
+            for line, entry in target.items():
+                if not 1 <= entry.size <= self.line_size:
+                    problems.append(
+                        f"set {index}: line {line} has bad size "
+                        f"{entry.size}"
+                    )
+        return problems
+
     def resident_lines(self) -> int:
         return sum(len(s) for s in self._sets)
 

@@ -75,6 +75,8 @@ class TrafficStats:
     dram_reads: int = 0
     dram_writes: int = 0
     mshr_stalls: int = 0
+    mshr_allocs: int = 0  # MSHR entries taken by L1 misses
+    mshr_releases: int = 0  # MSHR entries freed at fill completion
     rmw_reads: int = 0  # partial writes into compressed lines (Sec. 4.2.2)
     lines_decompressed: int = 0  # compressed lines expanded somewhere
     lines_compressed: int = 0  # store lines written in compressed form
@@ -280,6 +282,7 @@ class MemorySystem:
 
         fill = self._miss_path(sm_id, line, now)
         self._mshr_used[sm_id] += 1
+        self.stats.mshr_allocs += 1
         self._inflight[sm_id][line] = fill
         self.mshr_epoch[sm_id] += 1
         self._cache_access(
@@ -372,6 +375,7 @@ class MemorySystem:
         """Release the MSHR tracking ``line`` (called at fill time)."""
         if self._inflight[sm_id].pop(line, None) is not None:
             self._mshr_used[sm_id] -= 1
+            self.stats.mshr_releases += 1
             self.mshr_epoch[sm_id] += 1
 
     # ------------------------------------------------------------------

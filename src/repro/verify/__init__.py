@@ -1,0 +1,92 @@
+"""Differential correctness harness (``repro check``).
+
+Three independent verification passes over the repository's correctness
+surface:
+
+* :mod:`repro.verify.fuzz` — seeded adversarial round-trip fuzzing of
+  every compression algorithm, cross-checked against the batch kernels,
+* :mod:`repro.verify.differential` — byte-identical agreement of the
+  four compressed-size computation paths (scalar, numpy batch, pure
+  batch, cached planes) on real application images,
+* :mod:`repro.verify.invariants` — conservation laws replayed on traced
+  simulation runs (issue slots, MSHRs, flits, DRAM bursts, compressed
+  cache budgets).
+
+:func:`run_checks` orchestrates the passes into one
+:class:`~repro.verify.report.CheckReport`; the CLI's exit code is
+``0`` iff every check passed.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.verify.differential import differential_check
+from repro.verify.differential import DEFAULT_APPS as DIFF_APPS
+from repro.verify.fuzz import ALL_ALGORITHMS, fuzz_roundtrip
+from repro.verify.generators import GENERATOR_NAMES, make_generator
+from repro.verify.invariants import check_invariants
+from repro.verify.invariants import DEFAULT_APPS as INVARIANT_APPS
+from repro.verify.report import CheckReport, CheckResult
+
+__all__ = [
+    "ALL_ALGORITHMS",
+    "CheckReport",
+    "CheckResult",
+    "GENERATOR_NAMES",
+    "check_invariants",
+    "differential_check",
+    "fuzz_roundtrip",
+    "make_generator",
+    "run_checks",
+]
+
+
+def run_checks(
+    seed: int = 1,
+    lines: int = 256,
+    apps: Sequence[str] | None = None,
+    algorithms: Sequence[str] | None = None,
+    fuzz: bool = True,
+    differential: bool = True,
+    invariants: bool = True,
+    differential_apps: Sequence[str] | None = None,
+    differential_lines: int | None = None,
+) -> CheckReport:
+    """Run the selected verification passes and aggregate the results.
+
+    Args:
+        seed: Fuzzing seed (every failure replays from it).
+        lines: Lines per fuzz generator; the differential pass
+            compresses ``max(lines, 512)`` lines per app image unless
+            ``differential_lines`` overrides it.
+        apps: App image set for the differential and invariant passes
+            (defaults per pass: Fig-11 spanning set / golden trio).
+        algorithms: Algorithm subset (default: all five).
+        fuzz / differential / invariants: Enable individual passes.
+        differential_apps: Override ``apps`` for the differential pass
+            only (``repro check --all`` widens it to every app without
+            also replaying a simulation per app).
+        differential_lines: Override the differential pass's image size.
+    """
+    report = CheckReport()
+    algorithm_set = tuple(algorithms) if algorithms else ALL_ALGORITHMS
+    if fuzz:
+        report.extend(fuzz_roundtrip(
+            algorithms=algorithm_set,
+            lines_per_generator=lines,
+            seed=seed,
+        ))
+    if differential:
+        diff_apps = differential_apps or apps
+        report.extend(differential_check(
+            apps=tuple(diff_apps) if diff_apps else DIFF_APPS,
+            algorithms=algorithm_set,
+            lines=differential_lines or max(lines, 512),
+        ))
+    if invariants:
+        report.extend(check_invariants(
+            apps=tuple(apps) if apps else INVARIANT_APPS,
+            algorithms=algorithm_set,
+        ))
+    return report

@@ -1,0 +1,162 @@
+"""Seeded adversarial cache-line generators for round-trip fuzzing.
+
+Each generator targets a boundary of one (or several) of the compression
+algorithms — BDI's delta-width cutoffs and sign wraparound, FPC's
+zero-run and narrow-pattern edges, C-Pack's dictionary eviction and
+partial-match precedence, plus plain incompressible noise. The
+``data_patterns`` mixtures the workloads actually use are included too,
+so fuzzing covers the exact byte distributions the simulator compresses.
+
+Everything is a pure function of ``(seed, line index, line_size)``: the
+same seed always reproduces the same lines, so any failure the fuzzer
+reports is replayable from its ``(generator, seed, index)`` coordinates
+alone.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from repro.workloads.data_patterns import PATTERNS, make_line_generator
+
+#: Word values sitting on two's-complement sign boundaries — the inputs
+#: most likely to expose off-by-one signed-range checks in delta codes.
+_SIGN_EDGES_BY_WIDTH = {
+    1: (0x00, 0x01, 0x7F, 0x80, 0x81, 0xFE, 0xFF),
+    2: (0x0000, 0x0001, 0x7FFF, 0x8000, 0x8001, 0xFFFE, 0xFFFF),
+    4: (0, 1, 0x7FFFFFFF, 0x80000000, 0x80000001, 0xFFFFFFFE,
+        0xFFFFFFFF),
+    8: (0, 1, 0x7FFFFFFFFFFFFFFF, 0x8000000000000000,
+        0x8000000000000001, 0xFFFFFFFFFFFFFFFE, 0xFFFFFFFFFFFFFFFF),
+}
+
+
+def _all_zero(rng: random.Random, line_size: int) -> bytes:
+    return bytes(line_size)
+
+
+def _narrow_delta(rng: random.Random, line_size: int) -> bytes:
+    """One base plus small deltas at a random word width (BDI's case).
+
+    Deltas straddle the signed-range cutoffs of every BDI delta width
+    (±127/±128 for 1-byte deltas and so on), including negative deltas
+    that wrap the word, so the encode/fits checks see both sides of
+    every boundary.
+    """
+    width = rng.choice((2, 4, 8))
+    mask = (1 << (8 * width)) - 1
+    base = rng.getrandbits(8 * width)
+    edges = (0, 1, 0x7F, 0x80, 0xFF, 0x100, 0x7FFF, 0x8000, 0xFFFF,
+             0x10000)
+    out = bytearray()
+    for _ in range(line_size // width):
+        delta = rng.choice(edges)
+        if rng.getrandbits(1):
+            delta = -delta
+        out += ((base + delta) & mask).to_bytes(width, "little")
+    return bytes(out)
+
+
+def _sign_boundary(rng: random.Random, line_size: int) -> bytes:
+    """Whole words drawn from sign-boundary values at one width."""
+    width = rng.choice((1, 2, 4, 8))
+    edges = _SIGN_EDGES_BY_WIDTH[width]
+    out = bytearray()
+    for _ in range(line_size // width):
+        out += rng.choice(edges).to_bytes(width, "little")
+    return bytes(out)
+
+
+def _repeated_word(rng: random.Random, line_size: int) -> bytes:
+    """A tiny vocabulary of 32-bit words; hits C-Pack's dictionary and
+    FPC's repeated-value patterns, with occasional misses mixed in."""
+    vocab = [rng.getrandbits(32) for _ in range(rng.choice((1, 2, 4, 8)))]
+    out = bytearray()
+    for _ in range(line_size // 4):
+        if rng.random() < 0.1:
+            out += rng.getrandbits(32).to_bytes(4, "little")
+        else:
+            out += rng.choice(vocab).to_bytes(4, "little")
+    return bytes(out)
+
+
+def _high_entropy(rng: random.Random, line_size: int) -> bytes:
+    return rng.randbytes(line_size)
+
+
+def _zero_runs(rng: random.Random, line_size: int) -> bytes:
+    """Alternating zero runs and noise words — FPC's zero-run counting
+    (run starts, run lengths, runs ending at the line boundary)."""
+    out = bytearray()
+    while len(out) < line_size:
+        if rng.getrandbits(1):
+            out += bytes(4 * (1 + rng.randrange(8)))
+        else:
+            out += rng.getrandbits(32).to_bytes(4, "little")
+    return bytes(out[:line_size])
+
+
+def _dict_adversarial(rng: random.Random, line_size: int) -> bytes:
+    """C-Pack stress: more distinct words than dictionary entries (FIFO
+    eviction), words differing only in low bytes (partial matches), and
+    re-appearances of evicted words."""
+    high = rng.getrandbits(16) << 16
+    words = [high | rng.getrandbits(16) for _ in range(24)]
+    out = bytearray()
+    for i in range(line_size // 4):
+        if rng.random() < 0.3:
+            word = words[rng.randrange(len(words))]
+        else:
+            word = words[i % len(words)]
+        if rng.random() < 0.2:
+            word ^= rng.getrandbits(8)  # low-byte partial match
+        out += (word & 0xFFFFFFFF).to_bytes(4, "little")
+    return bytes(out)
+
+
+_ADVERSARIAL: dict[str, Callable[[random.Random, int], bytes]] = {
+    "all_zero": _all_zero,
+    "narrow_delta": _narrow_delta,
+    "sign_boundary": _sign_boundary,
+    "repeated_word": _repeated_word,
+    "high_entropy": _high_entropy,
+    "zero_runs": _zero_runs,
+    "dict_adversarial": _dict_adversarial,
+}
+
+#: All generator names: the adversarial set above plus one
+#: ``pattern_<name>`` generator per workload data pattern.
+GENERATOR_NAMES: tuple[str, ...] = tuple(_ADVERSARIAL) + tuple(
+    f"pattern_{name}" for name in sorted(PATTERNS)
+)
+
+
+def make_generator(
+    name: str, line_size: int, seed: int
+) -> Callable[[int], bytes]:
+    """A deterministic ``line index -> bytes`` function for ``name``.
+
+    ``pattern_*`` names delegate to the workload data-pattern machinery
+    (single-pattern mixture); the rest are the adversarial builders
+    above, re-seeded per line so each index is independent.
+    """
+    if name.startswith("pattern_"):
+        pattern = name[len("pattern_"):]
+        if pattern not in PATTERNS:
+            raise ValueError(f"unknown data pattern {pattern!r}")
+        return make_line_generator({pattern: 1.0}, line_size, seed)
+    try:
+        build = _ADVERSARIAL[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown generator {name!r} (known: {', '.join(GENERATOR_NAMES)})"
+        )
+
+    def line_bytes(index: int) -> bytes:
+        rng = random.Random((seed << 24) ^ (index * 0x9E3779B1) ^ index)
+        data = build(rng, line_size)
+        assert len(data) == line_size
+        return data
+
+    return line_bytes

@@ -1,0 +1,185 @@
+"""Simulator conservation invariants, checked on real replayed runs.
+
+Every check replays a (small, traced) simulation with ``keep_raw=True``
+and asserts an accounting identity that must hold by construction:
+
+* **Issue slots** — the stall ledger's per-SM counts regroup exactly to
+  ``SmStats.slots``, and every SM attributes exactly
+  ``cycles * schedulers_per_sm`` slots: no issue slot is lost or
+  double-charged.
+* **MSHRs** — every allocated MSHR is released (completed runs), or
+  still accounted in the in-flight maps (truncated runs), and the used
+  counters match the in-flight maps entry for entry.
+* **Interconnect flits** — flits counted in equal the port-cycles
+  reserved: each flit occupies exactly one cycle of one port timeline.
+* **DRAM bursts** — bursts charged to the stats equal the data-bus
+  cycles reserved, channel by channel.
+* **Compressed caches** — no set ever exceeds its byte budget or tag
+  count, and incremental occupancy accounting matches a re-sum
+  (:meth:`~repro.memory.compressed_cache.CompressedCache.audit`).
+
+These identities connect independently-maintained counters, so a bug in
+either side (or a code path that forgets to charge one) breaks them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro import design as designs
+from repro.gpu.config import GPUConfig
+from repro.harness.runner import clear_caches, run_app
+from repro.memory.compressed_cache import CompressedCache
+from repro.verify.report import CheckResult
+from repro.workloads.tracegen import TraceScale
+
+#: Apps spanning memory-bound (PVC), compute/memory mixed (MM) and
+#: compute-bound (CONS) behaviour — same trio the golden-stats suite
+#: replays.
+DEFAULT_APPS: tuple[str, ...] = ("PVC", "MM", "CONS")
+
+DEFAULT_ALGORITHMS: tuple[str, ...] = (
+    "bdi", "fpc", "cpack", "fvc", "bestofall",
+)
+
+
+def _check_run(
+    label: str, result, config: GPUConfig
+) -> list[CheckResult]:
+    """All conservation checks for one traced keep_raw run."""
+    raw = result.raw
+    memory = raw.memory
+    stats = raw.stats
+    obs = raw.obs
+    out: list[CheckResult] = []
+
+    # 1. Issue-slot conservation (ledger vs stats, and total attribution).
+    failure = ""
+    for sm_id, sm in enumerate(stats.sms):
+        if obs.ledger.slot_view(sm_id) != sm.slots:
+            failure = (
+                f"SM {sm_id}: ledger {obs.ledger.slot_view(sm_id)} != "
+                f"stats {sm.slots}"
+            )
+            break
+        expected = stats.cycles * config.schedulers_per_sm
+        attributed = obs.ledger.attributed_slots(sm_id)
+        if attributed != expected:
+            failure = (
+                f"SM {sm_id}: {attributed} slots attributed, expected "
+                f"{expected} (= {stats.cycles} cycles x "
+                f"{config.schedulers_per_sm} schedulers)"
+            )
+            break
+    out.append(CheckResult(
+        name=f"invariant.slots.{label}", passed=not failure,
+        checked=len(stats.sms), detail=failure,
+    ))
+
+    # 2. MSHR conservation.
+    traffic = memory.stats
+    inflight = sum(len(per_sm) for per_sm in memory._inflight)
+    failure = ""
+    if traffic.mshr_allocs != traffic.mshr_releases + inflight:
+        failure = (
+            f"{traffic.mshr_allocs} allocs != {traffic.mshr_releases} "
+            f"releases + {inflight} in flight"
+        )
+    elif not raw.truncated and inflight:
+        failure = f"completed run left {inflight} MSHRs in flight"
+    else:
+        for sm_id, per_sm in enumerate(memory._inflight):
+            if memory._mshr_used[sm_id] != len(per_sm):
+                failure = (
+                    f"SM {sm_id}: used counter "
+                    f"{memory._mshr_used[sm_id]} != "
+                    f"{len(per_sm)} in-flight entries"
+                )
+                break
+    out.append(CheckResult(
+        name=f"invariant.mshr.{label}", passed=not failure,
+        checked=traffic.mshr_allocs, detail=failure,
+    ))
+
+    # 3. Interconnect flit conservation (each flit = one port-cycle).
+    xbar = memory.crossbar
+    counted = xbar.request_flits + xbar.reply_flits
+    reserved = sum(
+        port.busy_time
+        for port in xbar._request_ports + xbar._reply_ports
+    )
+    failure = ""
+    if not math.isclose(counted, reserved, rel_tol=1e-9, abs_tol=1e-6):
+        failure = (
+            f"{counted} flits counted but {reserved} port-cycles reserved"
+        )
+    out.append(CheckResult(
+        name=f"invariant.flits.{label}", passed=not failure,
+        checked=counted, detail=failure,
+    ))
+
+    # 4. DRAM burst conservation, per channel.
+    failure = ""
+    bursts = 0
+    for mc in memory.mcs:
+        bursts += mc.stats.total_bursts
+        charged = mc.stats.total_bursts * mc.burst_cycles
+        if not math.isclose(charged, mc.bus.busy_time,
+                            rel_tol=1e-9, abs_tol=1e-6):
+            failure = (
+                f"MC {mc.mc_id}: {mc.stats.total_bursts} bursts charge "
+                f"{charged} bus cycles but {mc.bus.busy_time} reserved"
+            )
+            break
+    out.append(CheckResult(
+        name=f"invariant.dram.{label}", passed=not failure,
+        checked=bursts, detail=failure,
+    ))
+
+    # 5. Compressed-cache budgets (only present under tag_mult > 1).
+    compressed = [
+        cache
+        for cache in list(memory._l1s) + list(memory._l2_banks)
+        if isinstance(cache, CompressedCache)
+    ]
+    problems = [p for cache in compressed for p in cache.audit()]
+    out.append(CheckResult(
+        name=f"invariant.cache.{label}",
+        passed=not problems,
+        checked=len(compressed),
+        detail="; ".join(problems[:3]),
+    ))
+    return out
+
+
+def check_invariants(
+    apps: Sequence[str] = DEFAULT_APPS,
+    algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
+    config: GPUConfig | None = None,
+    scale: TraceScale | None = None,
+) -> list[CheckResult]:
+    """Replay ``apps x algorithms`` traced runs and check conservation.
+
+    Each pair runs the CABA design for that algorithm; additionally one
+    compressed-cache design (L2, 2x tags) runs per app so the cache
+    budget invariant sees a populated :class:`CompressedCache`.
+    """
+    config = config or GPUConfig.small()
+    scale = scale or TraceScale(work=0.25, waves=0.25)
+    results: list[CheckResult] = []
+    clear_caches()
+    for app in apps:
+        design_points = [
+            designs.caba(algorithm) for algorithm in algorithms
+        ]
+        design_points.append(designs.caba_cache("l2", 2))
+        for design in design_points:
+            run = run_app(
+                app, design, config=config, scale=scale,
+                use_cache=False, keep_raw=True, trace=True,
+            )
+            results.extend(
+                _check_run(f"{app}.{design.name}", run, config)
+            )
+    return results

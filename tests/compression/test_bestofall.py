@@ -1,5 +1,7 @@
 """Unit tests for the BestOfAll per-line oracle selector."""
 
+import itertools
+
 import pytest
 
 from repro.compression import (
@@ -8,6 +10,18 @@ from repro.compression import (
     CompressionError,
     CPackCompressor,
     FpcCompressor,
+)
+from repro.compression.bestofall import (
+    COMPONENT_PRIORITY,
+    compose_size_tables,
+)
+
+# A line where FPC and C-Pack tie at 63 bytes (BDI fails at 64): the
+# selector must break the tie by COMPONENT_PRIORITY, not by whatever
+# order the caller listed the components in.
+TIE_LINE = bytes.fromhex(
+    "0001340009091a0e2e4e0000080000030b000201060047020c84010202cb0002"
+    "070207010f0e030405cd290a050bf00401010000f60201000100000035010100"
 )
 
 
@@ -52,6 +66,67 @@ class TestSelection:
             data = bytes(rng.getrandbits(8) >> rng.choice([0, 4, 7])
                          for _ in range(128))
             assert best.decompress(best.compress(data)) == data
+
+
+class TestTieBreaking:
+    """Regressions: equal-size winners are chosen by COMPONENT_PRIORITY
+    identically on the scalar, batch and plane-composition paths."""
+
+    def test_tie_line_really_ties(self):
+        sizes = {
+            c.name: c.compress(TIE_LINE).size_bytes
+            for c in BestOfAllCompressor(line_size=64).components
+        }
+        assert sizes["fpc"] == sizes["cpack"] < sizes["bdi"]
+
+    def test_components_stored_in_priority_order(self):
+        best = BestOfAllCompressor(
+            line_size=64,
+            components=[
+                CPackCompressor(64), FpcCompressor(64), BdiCompressor(64),
+            ],
+        )
+        assert [c.name for c in best.components] == ["bdi", "fpc", "cpack"]
+
+    @pytest.mark.parametrize(
+        "order", list(itertools.permutations(("bdi", "fpc", "cpack")))
+    )
+    def test_scalar_winner_ignores_constructor_order(self, order):
+        makers = {
+            "bdi": BdiCompressor, "fpc": FpcCompressor,
+            "cpack": CPackCompressor,
+        }
+        best = BestOfAllCompressor(
+            line_size=64, components=[makers[n](64) for n in order]
+        )
+        line = best.compress(TIE_LINE)
+        assert line.encoding.startswith("fpc:")
+        assert best.decompress(line) == TIE_LINE
+
+    @pytest.mark.parametrize(
+        "order", list(itertools.permutations(("bdi", "fpc", "cpack")))
+    )
+    def test_compose_winner_ignores_table_order(self, order):
+        makers = {
+            "bdi": BdiCompressor, "fpc": FpcCompressor,
+            "cpack": CPackCompressor,
+        }
+        tables = [
+            (name, makers[name](64)._size_table([TIE_LINE]))
+            for name in order
+        ]
+        (size, encoding), = compose_size_tables(tables, 64)
+        assert encoding.startswith("fpc:")
+        assert size == 63
+
+    def test_batch_matches_scalar_on_tie(self):
+        best = BestOfAllCompressor(line_size=64)
+        line = best.compress(TIE_LINE)
+        [(size, encoding)] = best.size_table([TIE_LINE])
+        assert (size, encoding) == (line.size_bytes, line.encoding)
+
+    def test_priority_covers_all_registered_components(self):
+        assert set(COMPONENT_PRIORITY) >= {"bdi", "fpc", "cpack", "fvc"}
 
 
 class TestValidation:

@@ -123,3 +123,76 @@ class TestTrace:
                      "--out", str(out_dir)]) == 0
         names = sorted(p.name for p in out_dir.iterdir())
         assert "PVC-CABA-BDI.chrome.json" in names
+
+
+class TestCheck:
+    def test_fuzz_only_quick_passes(self, capsys):
+        assert main(["check", "--quick", "--skip-differential",
+                     "--skip-invariants", "--lines", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "roundtrip" in out
+        assert "all" in out and "passed" in out
+
+    def test_lines_knob_scales_units(self, capsys):
+        assert main(["check", "--skip-differential", "--skip-invariants",
+                     "--algorithms", "bdi", "--lines", "5"]) == 0
+        first = capsys.readouterr().out
+        assert main(["check", "--skip-differential", "--skip-invariants",
+                     "--algorithms", "bdi", "--lines", "10"]) == 0
+        second = capsys.readouterr().out
+        units = lambda text: int(text.split("checks, ")[1].split(" units")[0])
+        assert units(second) == 2 * units(first)
+
+    def test_seed_knob_accepted(self, capsys):
+        assert main(["check", "--skip-differential", "--skip-invariants",
+                     "--algorithms", "bdi", "--lines", "4",
+                     "--seed", "99"]) == 0
+
+    def test_apps_knob_limits_differential(self, capsys):
+        assert main(["check", "--skip-fuzz", "--skip-invariants",
+                     "--apps", "PVC", "--lines", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "differential" in out
+        assert "MUM" not in out
+
+    def test_unknown_app_fails_cleanly(self, capsys):
+        assert main(["check", "--skip-fuzz", "--skip-invariants",
+                     "--apps", "quake3"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_quick_and_all_conflict(self, capsys):
+        assert main(["check", "--quick", "--all"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_failing_check_names_the_invariant(self, capsys, monkeypatch):
+        import repro.verify.fuzz as fuzz_mod
+        from repro.compression import make_algorithm
+        from repro.compression.bdi import BdiCompressor
+
+        class Broken(BdiCompressor):
+            def decompress(self, line):
+                data = bytearray(super().decompress(line))
+                data[0] ^= 0xFF
+                return bytes(data)
+
+        def fake_make(name, line_size):
+            if name == "bdi":
+                return Broken(line_size)
+            return make_algorithm(name, line_size)
+
+        monkeypatch.setattr(fuzz_mod, "make_algorithm", fake_make)
+        assert main(["check", "--skip-differential", "--skip-invariants",
+                     "--algorithms", "bdi", "--lines", "4"]) == 1
+        out = capsys.readouterr().out
+        assert "FAILED" in out
+        assert "roundtrip.bdi" in out
+
+    def test_verbose_lists_passing_checks(self, capsys):
+        assert main(["check", "--skip-differential", "--skip-invariants",
+                     "--algorithms", "bdi", "--lines", "4", "-v"]) == 0
+        assert "pass roundtrip.bdi" in capsys.readouterr().out
+
+    def test_check_command_is_dispatchable(self):
+        from repro.cli import _COMMANDS
+
+        assert "check" in _COMMANDS

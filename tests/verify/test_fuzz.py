@@ -1,0 +1,90 @@
+"""The round-trip fuzzer: clean on the real algorithms, and able to
+catch planted bugs (a fuzzer that can't fail is no evidence)."""
+
+import pytest
+
+import repro.verify.fuzz as fuzz_mod
+from repro.compression import make_algorithm
+from repro.compression.base import CompressedLine
+from repro.compression.bdi import BdiCompressor
+from repro.verify.fuzz import fuzz_roundtrip
+
+
+class TestCleanPass:
+    def test_all_algorithms_pass(self):
+        results = fuzz_roundtrip(lines_per_generator=24, seed=3)
+        failures = [r for r in results if not r.passed]
+        assert not failures, failures
+        assert all(r.checked == 24 for r in results)
+
+    def test_line_size_64(self):
+        results = fuzz_roundtrip(
+            algorithms=("bdi", "fpc"), lines_per_generator=16,
+            line_size=64, seed=9,
+        )
+        assert all(r.passed for r in results)
+
+    def test_result_names_are_specific(self):
+        results = fuzz_roundtrip(
+            algorithms=("bdi",), generators=("all_zero",),
+            lines_per_generator=4,
+        )
+        [result] = results
+        assert result.name == "roundtrip.bdi.all_zero"
+
+
+class _CorruptDecompress(BdiCompressor):
+    """Planted bug: flips a byte of every decompressed zero line."""
+
+    def decompress(self, line: CompressedLine) -> bytes:
+        data = bytearray(super().decompress(line))
+        if data and not any(data):
+            data[0] ^= 0xFF
+        return bytes(data)
+
+
+class _CorruptSizeTable(BdiCompressor):
+    """Planted bug: batch kernel disagrees with scalar compress()."""
+
+    def _size_table(self, lines):
+        return [(size + 1 if size < self.line_size else size, encoding)
+                for size, encoding in super()._size_table(lines)]
+
+
+class TestCatchesPlantedBugs:
+    def _with_planted(self, monkeypatch, broken_cls):
+        def fake_make(name, line_size):
+            if name == "bdi":
+                return broken_cls(line_size)
+            return make_algorithm(name, line_size)
+
+        monkeypatch.setattr(fuzz_mod, "make_algorithm", fake_make)
+
+    def test_roundtrip_corruption_is_caught(self, monkeypatch):
+        self._with_planted(monkeypatch, _CorruptDecompress)
+        results = fuzz_roundtrip(
+            algorithms=("bdi",), generators=("all_zero",),
+            lines_per_generator=4,
+        )
+        [result] = results
+        assert not result.passed
+        assert "round-trip mismatch" in result.detail
+
+    def test_size_table_divergence_is_caught(self, monkeypatch):
+        self._with_planted(monkeypatch, _CorruptSizeTable)
+        results = fuzz_roundtrip(
+            algorithms=("bdi",), generators=("all_zero",),
+            lines_per_generator=4,
+        )
+        [result] = results
+        assert not result.passed
+        assert "size_table" in result.detail
+
+    def test_failure_carries_replay_coordinates(self, monkeypatch):
+        self._with_planted(monkeypatch, _CorruptDecompress)
+        [result] = fuzz_roundtrip(
+            algorithms=("bdi",), generators=("all_zero",),
+            lines_per_generator=4, seed=42,
+        )
+        assert "index" in result.detail
+        assert result.name.endswith("bdi.all_zero")

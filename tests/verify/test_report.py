@@ -1,0 +1,51 @@
+"""CheckReport aggregation and rendering."""
+
+from repro.verify.report import CheckReport, CheckResult
+
+
+def _report(*results):
+    report = CheckReport()
+    report.extend(list(results))
+    return report
+
+
+class TestAggregation:
+    def test_empty_report_is_ok(self):
+        assert _report().ok
+
+    def test_ok_and_failures(self):
+        report = _report(
+            CheckResult("roundtrip.bdi.all_zero", True, checked=10),
+            CheckResult("invariant.mshr.PVC", False, detail="off by 1"),
+        )
+        assert not report.ok
+        assert [r.name for r in report.failures] == ["invariant.mshr.PVC"]
+        assert report.checked == 10
+
+
+class TestRendering:
+    def test_pass_summary(self):
+        text = _report(
+            CheckResult("roundtrip.bdi.all_zero", True, checked=10),
+            CheckResult("roundtrip.fpc.all_zero", True, checked=10),
+        ).render()
+        assert "roundtrip" in text
+        assert "2/2 checks" in text
+        assert "all 2 checks passed" in text
+
+    def test_failures_named_with_detail(self):
+        text = _report(
+            CheckResult("roundtrip.bdi.all_zero", True, checked=10),
+            CheckResult("invariant.mshr.PVC", False, detail="off by 1"),
+        ).render()
+        assert "invariant.mshr.PVC" in text
+        assert "off by 1" in text
+        assert "FAILED" in text
+        # Passing checks stay silent unless verbose.
+        assert "pass roundtrip.bdi.all_zero" not in text
+
+    def test_verbose_lists_passes(self):
+        text = _report(
+            CheckResult("roundtrip.bdi.all_zero", True, checked=10),
+        ).render(verbose=True)
+        assert "pass roundtrip.bdi.all_zero" in text
