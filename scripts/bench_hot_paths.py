@@ -5,6 +5,13 @@ Measures the three paths the perf work targets:
 
 * ``sim`` — end-to-end `run_app` wall time and simulated cycles per
   second for a memory-bound CABA run and a compute-leaning Base run.
+* ``cycle_loop`` — per-run ``Simulator.run()`` wall clock on the
+  Table 1 machine with the vectorized core on (``REPRO_SOA=1``) vs.
+  the pure-Python reference scan (``REPRO_SOA=0``), everything else
+  shared. Gated two ways: the SoA machinery must not regress the pure
+  path by more than 3% over the checked-in baseline, and with numpy
+  available the vectorized core must hold the 2x per-run speedup
+  acceptance floor (geomean over the benchmark apps).
 * ``bdi`` — BDI compress+decompress round-trip throughput over
   generated application lines (the byte-level inner loop).
 * ``subroutines`` — assist-warp subroutine construction cost (the
@@ -52,18 +59,24 @@ os.environ["REPRO_CACHE"] = "0"
 
 from repro import design as designs  # noqa: E402
 from repro.compression import make_algorithm  # noqa: E402
+from repro.core.params import CabaParams  # noqa: E402
 from repro.core.subroutines import SubroutineLibrary  # noqa: E402
+from repro.gpu import soa as soa_mod  # noqa: E402
 from repro.gpu.config import GPUConfig  # noqa: E402
+from repro.gpu.simulator import Simulator  # noqa: E402
 from repro.harness import figures  # noqa: E402
 from repro.harness.runner import (  # noqa: E402
     RunSpec,
+    _make_caba_factory,
+    build_image,
     clear_caches,
+    geomean,
     run_app,
     run_spec,
 )
 from repro.workloads.apps import get_app  # noqa: E402
 from repro.workloads.data_patterns import make_line_generator  # noqa: E402
-from repro.workloads.tracegen import TraceScale  # noqa: E402
+from repro.workloads.tracegen import TraceScale, build_kernel  # noqa: E402
 
 SWEEP_APPS = ("PVC", "MM", "CONS")
 SWEEP_ALGORITHMS = ("bdi", "fpc", "cpack", "bestofall")
@@ -91,6 +104,85 @@ def bench_sim(repeats: int) -> dict:
             "cycles": cycles,
             "cycles_per_second": round(cycles / best),
         }
+    return out
+
+
+def bench_cycle_loop(repeats: int, work: float) -> dict:
+    """Per-run simulator wall clock: SoA screen vs. reference scan.
+
+    Unlike ``sim`` (which times the whole ``run_app`` harness on the
+    small machine), this times ``Simulator.run()`` alone on the Table 1
+    machine, flipping ``REPRO_SOA`` per run with the kernel, image and
+    controller factory shared — the ratio isolates the vectorized core.
+    The two legs are interleaved (reference, SoA, reference, ...) so
+    machine noise lands on both equally, and each leg keeps its best of
+    ``repeats``. Simulated cycle counts must match across modes (the
+    byte-identity contract); a mismatch aborts the benchmark.
+    """
+    numpy_ok = soa_mod.np is not None
+    points = [("PVC", designs.caba("bdi")), ("MM", designs.base())]
+    config = GPUConfig()
+    scale = TraceScale(work=work)
+    modes = [("reference", "0")]
+    if numpy_ok:
+        modes.append(("soa", "1"))
+    out: dict = {"scale_work": work, "numpy": numpy_ok, "points": {}}
+    prior = os.environ.get("REPRO_SOA")
+    try:
+        for app_name, point in points:
+            profile = get_app(app_name)
+            image = build_image(profile, point, config, scale)
+            kernel = build_kernel(profile, config, scale)
+            factory, regs = _make_caba_factory(
+                point, config, CabaParams(), plane=image.plane
+            )
+
+            def one_run(flag: str) -> tuple[float, int]:
+                os.environ["REPRO_SOA"] = flag
+                sim = Simulator(
+                    config, kernel, point, image,
+                    caba_factory=factory,
+                    assist_regs_per_thread=regs,
+                )
+                start = time.perf_counter()
+                result = sim.run()
+                return time.perf_counter() - start, result.stats.cycles
+
+            # Warm the shared per-line compression caches (first touch
+            # of the image is compression work, not simulation).
+            one_run(modes[-1][1])
+            best = {name: float("inf") for name, _ in modes}
+            cycles = {}
+            for _ in range(repeats):
+                for name, flag in modes:
+                    elapsed, cyc = one_run(flag)
+                    best[name] = min(best[name], elapsed)
+                    cycles[name] = cyc
+            if numpy_ok and cycles["soa"] != cycles["reference"]:
+                raise AssertionError(
+                    f"{app_name}-{point.name}: SoA and reference modes "
+                    f"disagree on simulated cycles "
+                    f"({cycles['soa']} vs {cycles['reference']})"
+                )
+            entry = {
+                "cycles": cycles["reference"],
+                "reference_seconds": round(best["reference"], 4),
+            }
+            if numpy_ok:
+                entry["soa_seconds"] = round(best["soa"], 4)
+                entry["speedup"] = round(
+                    best["reference"] / best["soa"], 3
+                )
+            out["points"][f"{app_name}-{point.name}"] = entry
+    finally:
+        if prior is None:
+            os.environ.pop("REPRO_SOA", None)
+        else:
+            os.environ["REPRO_SOA"] = prior
+    if numpy_ok:
+        out["speedup_geomean"] = round(
+            geomean(e["speedup"] for e in out["points"].values()), 3
+        )
     return out
 
 
@@ -153,12 +245,16 @@ def bench_engine_dispatch(repeats: int) -> dict:
     }
 
 
-def check_runner(record: dict, baseline_sim: dict) -> list[str]:
+def check_runner(record: dict, baseline: dict) -> list[str]:
     """Gates: tracing-disabled sim time within 3% of the checked-in
-    baseline (the observability layer must be free when off), and
-    per-future engine dispatch within 3% of the pool.map baseline."""
+    baseline (the observability layer must be free when off); per-future
+    engine dispatch within 3% of the pool.map baseline; the SoA
+    machinery must not regress the pure-Python cycle loop by more than
+    3%; and, with numpy, the vectorized core must hold the 2x per-run
+    speedup acceptance floor."""
     failures = []
-    sim_record = record["sim"]
+    sim_record = record.get("sim", {})
+    baseline_sim = baseline.get("sim", {})
     for key in sorted(set(sim_record) & set(baseline_sim)):
         now = sim_record[key]["seconds"]
         base = baseline_sim[key]["seconds"]
@@ -175,6 +271,24 @@ def check_runner(record: dict, baseline_sim: dict) -> list[str]:
             f"3% budget over pool.map {dispatch['map_seconds']:.3f}s "
             f"({dispatch['overhead'] - 1:+.1%})"
         )
+    cyc = record.get("cycle_loop", {})
+    base_points = baseline.get("cycle_loop", {}).get("points", {})
+    for key, entry in sorted(cyc.get("points", {}).items()):
+        base = base_points.get(key)
+        if base and entry["reference_seconds"] > 1.03 * base["reference_seconds"]:
+            failures.append(
+                f"{key} pure-path cycle loop "
+                f"{entry['reference_seconds']:.3f}s exceeds 3% budget "
+                f"over baseline {base['reference_seconds']:.3f}s "
+                f"({entry['reference_seconds'] / base['reference_seconds'] - 1:+.1%})"
+            )
+    if cyc.get("numpy"):
+        gm = cyc.get("speedup_geomean", 0.0)
+        if gm < 2.0:
+            failures.append(
+                f"SoA per-run speedup geomean {gm:.2f}x is below the "
+                f"2.0x acceptance floor"
+            )
     return failures
 
 
@@ -315,35 +429,43 @@ def main() -> int:
                         help="record name in BENCH_runner.json")
     parser.add_argument("--out", default="BENCH_runner.json")
     parser.add_argument("--comp-out", default="BENCH_compression.json")
-    parser.add_argument("--section", choices=("all", "runner", "compression"),
+    parser.add_argument("--section",
+                        choices=("all", "runner", "cycle_loop", "compression"),
                         default="all")
     parser.add_argument("--update-baseline", action="store_true",
                         help="rewrite the compression baseline record")
     parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--cycle-work", type=float, default=0.5,
+                        help="TraceScale.work for the cycle_loop section")
     parser.add_argument("--bdi-lines", type=int, default=4000)
     parser.add_argument("--plane-lines", type=int, default=4000)
     args = parser.parse_args()
 
     status = 0
-    if args.section in ("all", "runner"):
+    if args.section in ("all", "runner", "cycle_loop"):
         clear_caches()
-        sim = bench_sim(args.repeats)
-        record = {
-            "python": platform.python_version(),
-            "sim": sim,
-            "trace_overhead": bench_trace_overhead(sim, args.repeats),
-            "bdi": bench_bdi(args.bdi_lines, args.repeats),
-            "subroutines": bench_subroutines(args.repeats),
-            "engine_dispatch": bench_engine_dispatch(args.repeats),
-        }
-
         merged = {}
         if os.path.exists(args.out):
             with open(args.out) as fh:
                 merged = json.load(fh)
         # Grab the previously checked-in numbers before overwriting the
-        # label — they are the reference for the trace-overhead gate.
-        baseline_sim = merged.get(args.label, {}).get("sim", {})
+        # label — they are the reference for the regression gates.
+        baseline = merged.get(args.label, {})
+        if args.section == "cycle_loop":
+            # Refresh only the cycle_loop section in place.
+            record = dict(baseline)
+            record["python"] = platform.python_version()
+        else:
+            sim = bench_sim(args.repeats)
+            record = {
+                "python": platform.python_version(),
+                "sim": sim,
+                "trace_overhead": bench_trace_overhead(sim, args.repeats),
+                "bdi": bench_bdi(args.bdi_lines, args.repeats),
+                "subroutines": bench_subroutines(args.repeats),
+                "engine_dispatch": bench_engine_dispatch(args.repeats),
+            }
+        record["cycle_loop"] = bench_cycle_loop(args.repeats, args.cycle_work)
         merged[args.label] = record
 
         before = merged.get("before", {}).get("sim", {})
@@ -358,7 +480,7 @@ def main() -> int:
         print(json.dumps(record, indent=2))
         print(f"wrote {args.out} [{args.label}]")
 
-        runner_failures = check_runner(record, baseline_sim)
+        runner_failures = check_runner(record, baseline)
         for failure in runner_failures:
             print(f"REGRESSION: {failure}")
         if runner_failures:

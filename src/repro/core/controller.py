@@ -36,7 +36,7 @@ from repro.core.base import AssistController
 from repro.core.params import CabaParams
 from repro.core.subroutines import SubroutineLibrary
 from repro.gpu.isa import AssistProgram
-from repro.gpu.warp import WarpContext
+from repro.gpu.warp import WarpContext, touch
 from repro.memory.hierarchy import LineFill
 
 HIGH = 0
@@ -45,6 +45,10 @@ LOW = 1
 
 class ActiveAssistWarp:
     """One live AWT entry: a triggered assist-warp instance."""
+
+    #: Assist warps are never mirrored into the SoA arrays; the shared
+    #: issue paths (``SM._hold_registers``) test this before syncing.
+    soa = None
 
     __slots__ = (
         "parent",
@@ -170,6 +174,11 @@ class CabaController(AssistController):
 
         self._utilization = 0.0
         self._now = 0
+        # observe() runs once per SM per cycle; keep its knobs out of
+        # the dataclass attribute path.
+        self._ema_alpha = params.utilization_ema_alpha
+        self._throttling = params.throttling_enabled
+        self._throttle_threshold = params.throttle_threshold
 
         # Preload the compression subroutine into the AWS; decompression
         # subroutines are registered lazily per encoding encountered.
@@ -185,17 +194,16 @@ class CabaController(AssistController):
 
     def observe(self, issued: int, slots: int) -> None:
         """Feed the AWC's functional-unit utilization monitor."""
-        alpha = self.params.utilization_ema_alpha
-        self._utilization += alpha * (issued / slots - self._utilization)
-        if self.throttled:
+        u = self._utilization + self._ema_alpha * (
+            issued / slots - self._utilization
+        )
+        self._utilization = u
+        if self._throttling and u > self._throttle_threshold:
             self.stats.throttled_cycles += 1
 
     @property
     def throttled(self) -> bool:
-        return (
-            self.params.throttling_enabled
-            and self._utilization > self.params.throttle_threshold
-        )
+        return self._throttling and self._utilization > self._throttle_threshold
 
     def has_pending_work(self) -> bool:
         """Whether the controller needs the SM ticked next cycle (used to
@@ -239,11 +247,18 @@ class CabaController(AssistController):
         dq = self._high[sched]
         for _ in range(len(dq)):
             aw = dq[0]
-            if aw.cancelled or aw.pc >= len(aw.program.body):
+            pc = aw.pc
+            program = aw.program
+            if aw.cancelled or pc >= len(program.body):
                 dq.popleft()
                 continue
+            if pc >= aw.deployed or aw.pending_mask & program.need[pc]:
+                # Undeployed or scoreboard-blocked: try_issue_assist
+                # would reject it the same way, without side effects.
+                dq.rotate(-1)
+                continue
             if self.sm.try_issue_assist(aw, cycle):
-                if aw.pc >= len(aw.program.body):
+                if aw.pc >= len(program.body):
                     dq.popleft()
                 return True
             dq.rotate(-1)
@@ -251,7 +266,11 @@ class CabaController(AssistController):
 
     def issue_low(self, sched: int, cycle: int) -> bool:
         for aw in self._low:
-            if aw.cancelled or aw.pc >= len(aw.program.body):
+            pc = aw.pc
+            program = aw.program
+            if aw.cancelled or pc >= len(program.body):
+                continue
+            if pc >= aw.deployed or aw.pending_mask & program.need[pc]:
                 continue
             if self.sm.try_issue_assist(aw, cycle):
                 return True
@@ -331,6 +350,8 @@ class CabaController(AssistController):
             # (Section 4.2.1).
             if not entry.owner.finished:
                 entry.owner.assist_block += 1
+                if entry.owner.soa is not None:
+                    touch(entry.owner)
                 aw.blocking = True
             self._high[entry.owner.sched].append(aw)
         else:
@@ -482,6 +503,8 @@ class CabaController(AssistController):
     def _unblock(self, aw: ActiveAssistWarp) -> None:
         if aw.blocking:
             aw.parent.assist_block -= 1
+            if aw.parent.soa is not None:
+                touch(aw.parent)
             aw.blocking = False
 
     def _cancel(self, aw: ActiveAssistWarp) -> None:

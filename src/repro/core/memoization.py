@@ -32,7 +32,7 @@ from repro.gpu.isa import (
     OpKind,
     reg_mask,
 )
-from repro.gpu.warp import WarpContext
+from repro.gpu.warp import WarpContext, touch
 
 #: (warp_linear_index, iteration) -> input signature of the computation.
 SignatureFn = Callable[[int, int], int]
@@ -91,6 +91,10 @@ class MemoParams:
 
 
 class _ActiveMemo:
+    #: Assist warps are never mirrored into the SoA arrays (see
+    #: repro.gpu.warp.touch).
+    soa = None
+
     __slots__ = ("parent", "program", "pc", "deployed", "pending_mask",
                  "task", "line", "cancelled", "blocking", "signature",
                  "region_len")
@@ -152,6 +156,8 @@ class MemoizationController(AssistController):
                              signature, region_len)
         assist.blocking = True
         warp.assist_block += 1
+        if warp.soa is not None:
+            touch(warp)
         self._high[warp.sched].append(assist)
         self.stats.lookups += 1
 
@@ -160,11 +166,18 @@ class MemoizationController(AssistController):
         dq = self._high[sched]
         for _ in range(len(dq)):
             aw = dq[0]
-            if aw.cancelled or aw.pc >= len(aw.program.body):
+            pc = aw.pc
+            program = aw.program
+            if aw.cancelled or pc >= len(program.body):
                 dq.popleft()
                 continue
+            if aw.pending_mask & program.need[pc]:
+                # Scoreboard-blocked: try_issue_assist would reject it
+                # the same way, without side effects.
+                dq.rotate(-1)
+                continue
             if self.sm.try_issue_assist(aw, cycle):
-                if aw.pc >= len(aw.program.body):
+                if aw.pc >= len(program.body):
                     dq.popleft()
                 return True
             dq.rotate(-1)
@@ -176,8 +189,12 @@ class MemoizationController(AssistController):
             or self._low[0].pc >= len(self._low[0].program.body)
         ):
             self._low.popleft()
-        if self._low and self.sm.try_issue_assist(self._low[0], cycle):
-            return True
+        if self._low:
+            aw = self._low[0]
+            if not aw.pending_mask & aw.program.need[aw.pc] and (
+                self.sm.try_issue_assist(aw, cycle)
+            ):
+                return True
         return False
 
     def has_pending_work(self) -> bool:
@@ -222,16 +239,23 @@ class MemoizationController(AssistController):
         skip = min(region_len, body_len - warp.pc)
         warp.pc += skip
         self.stats.regions_skipped_instructions += skip
+        finished = False
         if warp.pc >= body_len:
             warp.pc = 0
             warp.iteration += 1
             if warp.iteration >= warp.program.iterations:
                 warp.finished = True
-                # Route through the SM so block-completion bookkeeping
-                # (warp counts, block retirement) stays consistent.
-                self.sm._on_warp_finished(warp)
+                finished = True
+        if warp.soa is not None:
+            touch(warp)
+        if finished:
+            # Route through the SM so block-completion bookkeeping
+            # (warp counts, block retirement) stays consistent.
+            self.sm._on_warp_finished(warp)
 
     def _unblock(self, assist: _ActiveMemo) -> None:
         if assist.blocking:
             assist.parent.assist_block -= 1
+            if assist.parent.soa is not None:
+                touch(assist.parent)
             assist.blocking = False

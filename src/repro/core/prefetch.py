@@ -85,6 +85,10 @@ class _Stream:
 
 
 class _ActivePrefetch:
+    #: Assist warps are never mirrored into the SoA arrays (see
+    #: repro.gpu.warp.touch).
+    soa = None
+
     __slots__ = ("parent", "program", "pc", "deployed", "pending_mask",
                  "task", "line", "cancelled", "blocking", "targets")
 
@@ -166,8 +170,14 @@ class PrefetchController(AssistController):
             or self._low[0].pc >= len(self._low[0].program.body)
         ):
             self._low.popleft()
-        if self._low and self.sm.try_issue_assist(self._low[0], cycle):
-            return True
+        if self._low:
+            aw = self._low[0]
+            # Scoreboard precheck: skip the try_issue_assist call when
+            # it would reject the warp anyway, without side effects.
+            if not aw.pending_mask & aw.program.need[aw.pc] and (
+                self.sm.try_issue_assist(aw, cycle)
+            ):
+                return True
         return False
 
     def has_pending_work(self) -> bool:

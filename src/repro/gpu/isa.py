@@ -208,12 +208,23 @@ class AssistProgram:
     # Active-mask width: how many SIMT lanes the subroutine really needs
     # (Section 3.4's static lane enable/disable).
     lanes: int = 32
+    #: Per-pc scoreboard need masks (src | dst), precomputed so the
+    #: assist issue loops can reject a blocked warp without the
+    #: try_issue_assist call.
+    need: tuple[int, ...] = field(
+        init=False, repr=False, compare=False, default=()
+    )
 
     def __post_init__(self) -> None:
         if not self.body:
             raise ValueError("an assist subroutine needs at least one instruction")
         if not 1 <= self.lanes <= 32:
             raise ValueError(f"lanes must be in [1, 32], got {self.lanes}")
+        object.__setattr__(
+            self,
+            "need",
+            tuple(i.src_mask | i.dst_mask for i in self.body),
+        )
 
     def __len__(self) -> int:
         return len(self.body)

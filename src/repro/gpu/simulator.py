@@ -22,8 +22,9 @@ from repro.gpu.config import GPUConfig
 from repro.gpu.kernel import Kernel
 from repro.gpu.occupancy import Occupancy, compute_occupancy
 from repro.gpu.sm import SM
+from repro.gpu.soa import SoAState, soa_enabled
 from repro.gpu.stats import SimStats
-from repro.gpu.warp import BlockContext, WarpContext
+from repro.gpu.warp import BlockContext, SoAWarpContext, WarpContext
 from repro.memory.hierarchy import MemorySystem
 from repro.memory.image import MemoryImage
 
@@ -67,6 +68,7 @@ class Simulator:
         caba_factory: Callable[[SM], object] | None = None,
         assist_regs_per_thread: int = 0,
         obs: object | None = None,
+        fast_forward: bool = True,
     ) -> None:
         """
         Args:
@@ -80,6 +82,10 @@ class Simulator:
                 the enabled assist subroutines (affects occupancy).
             obs: A ``repro.obs.RunObservation`` to attach to every
                 component, or None (the default) for the untraced path.
+            fast_forward: Disable to execute every cycle instead of
+                jumping uniform-stall gaps (testing/audit only; results
+                are identical for designs without a CABA controller,
+                whose utilization monitor samples executed cycles).
         """
         if design.uses_assist_warps and caba_factory is None:
             raise ValueError(f"design {design.name} needs a CABA controller")
@@ -121,6 +127,20 @@ class Simulator:
                 if sm.caba is not None:
                     sm.caba.obs = obs
 
+        self._ff_enabled = fast_forward
+
+        # Vectorized warp-state mirror (REPRO_SOA, default on with
+        # numpy). Must exist before the initial blocks are dispatched:
+        # warps are constructed as SoA-backed from the start.
+        self._soa = None
+        cap = self.occupancy.blocks_per_sm * kernel.warps_per_block
+        if cap > 0 and soa_enabled():
+            self._soa = SoAState(
+                config.n_sms, config.schedulers_per_sm, cap, kernel.program
+            )
+            for sm in self.sms:
+                sm.attach_soa(self._soa)
+
         self._pending_blocks: deque[int] = deque(range(kernel.n_blocks))
         self._blocks_retired = 0
         self._fill_initial_blocks()
@@ -152,9 +172,18 @@ class Simulator:
     def _dispatch_block(self, sm: SM) -> None:
         block_id = self._pending_blocks.popleft()
         block = BlockContext(block_id)
+        program = self.kernel.program
+        soa = self._soa
         for w in range(self.kernel.warps_per_block):
             index = self.kernel.warp_linear_index(block_id, w)
-            block.warps.append(WarpContext(index, block, self.kernel.program, 0))
+            if soa is None:
+                warp = WarpContext(index, block, program, 0)
+            else:
+                warp = SoAWarpContext(
+                    soa, soa.alloc(sm.sm_id, program), index, block,
+                    program, 0,
+                )
+            block.warps.append(warp)
         sm.add_block(block)
 
     def _on_block_retired(self, sm: SM) -> None:
@@ -174,6 +203,11 @@ class Simulator:
         buckets = self._event_buckets
         heappop = heapq.heappop
         sms = self.sms
+        if self._soa is not None:
+            ticks = [sm.tick_soa for sm in sms]
+        else:
+            ticks = [sm.tick for sm in sms]
+        ff = self._ff_enabled
         truncated = False
         while not self.done:
             cycle = self._cycle
@@ -186,10 +220,10 @@ class Simulator:
                 for fn in buckets.pop(heappop(cycles)):
                     fn()
             issued = 0
-            for sm in sms:
-                issued += sm.tick(cycle)
+            for tick in ticks:
+                issued += tick(cycle)
             self._cycle = cycle + 1
-            if issued == 0:
+            if issued == 0 and ff:
                 self._fast_forward()
         if self.done:
             self._drain()
@@ -207,7 +241,17 @@ class Simulator:
         )
 
     def _fast_forward(self) -> None:
-        """Jump to the next time anything can happen."""
+        """Jump to the next time anything can happen.
+
+        ``self._cycle`` has already advanced past the tick that issued
+        nothing, so the just-simulated cycle is ``self._cycle - 1`` —
+        the "now" that ``SM.next_wake`` expects. Passing ``self._cycle``
+        instead would make an SM with pending CABA work report
+        ``now + 2`` and the jump would skip a cycle in which an assist
+        warp could have issued; tests/gpu/test_simulator.py pins
+        fast-forward on/off byte-identity against exactly that class of
+        off-by-one.
+        """
         wake = float(self._event_cycles[0]) if self._event_cycles else _INF
         cycle = self._cycle
         for sm in self.sms:

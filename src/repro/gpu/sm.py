@@ -20,8 +20,8 @@ from typing import Callable
 
 from repro.gpu.config import GPUConfig
 from repro.gpu.isa import Instr, MemSpace, OpKind
-from repro.gpu.stats import Slot, SmStats
-from repro.gpu.warp import BlockContext, WarpContext
+from repro.gpu.stats import STATE_ONLY_SLOTS, Slot, SmStats, UNIT_SLOTS
+from repro.gpu.warp import BlockContext, WarpContext, touch
 from repro.memory.hierarchy import MEM_SRC_DRAM, MEM_SRC_L1, MemorySystem
 from repro.obs.ledger import ASSIST_WARP, NO_WARP, SLOT_OF_CAT, StallCat
 
@@ -62,6 +62,15 @@ _CAT_IDLE = int(StallCat.IDLE)
 
 #: Refined category -> Figure-1 slot (indexable by the plain ints above).
 _CAT_SLOT = SLOT_OF_CAT
+
+#: Figure-1 slot -> stall-memo tier for the vectorized core: 0 = not
+#: memoizable (an instruction issued), 1 = valid while the scheduler's
+#: warp state is unchanged, 2 = additionally requires unchanged
+#: execution-unit/MSHR state.
+_MEMO_KIND = tuple(
+    1 if slot in STATE_ONLY_SLOTS else (2 if slot in UNIT_SLOTS else 0)
+    for slot in Slot
+)
 
 _INF = float("inf")
 
@@ -116,10 +125,30 @@ class SM:
         #: Warp charged for the most recent ACTIVE slot (traced path).
         self._attr_warp = NO_WARP
 
+        #: Vectorized-core state (repro.gpu.soa); None = reference path.
+        self._soa = None
+        self._gid0 = 0
+        #: Per-scheduler stall memos, rebuilt by every scanned slot:
+        #: (seq, cat, warp_id, kind, lsu_free, sfu_free, heavy_free,
+        #:  mshr_epoch, expiry_cycle, scan_wake_hint); mshr_epoch -1
+        #: marks a stall whose outcome is independent of MSHR state.
+        self._memos: list[tuple | None] = [None] * n
+        # Scratch written by the scan for memo creation: whether the
+        # outcome is replay-stable, and the scan's own wake-hint
+        # contribution (excluding assist-warp issue attempts).
+        self._scan_safe = False
+        self._scan_hint = _INF
+
     def attach_observer(self, obs) -> None:
         """Install the observability layer's stall ledger (must happen
         before the first tick so attribution is complete)."""
         self._ledger = obs.ledger
+
+    def attach_soa(self, soa) -> None:
+        """Adopt the vectorized issue path (``tick_soa``); must be
+        called before any block is dispatched."""
+        self._soa = soa
+        self._gid0 = self.sm_id * self.config.schedulers_per_sm
 
     # ------------------------------------------------------------------
     # Block / warp management
@@ -133,6 +162,11 @@ class SM:
             warp.age = self._age_counter
             self._age_counter += 1
             self.sched_warps[warp.sched].append(warp)
+        soa = self._soa
+        if soa is not None:
+            gid0 = self._gid0
+            for warp in block.warps:
+                soa.bind(warp.slot, gid0 + warp.sched)
 
     def _retire_block(self, block: BlockContext) -> None:
         if block.retired:
@@ -145,6 +179,15 @@ class SM:
             self.sched_warps[s] = [w for w in warps if w not in retired]
             if self._current[s] in retired:
                 self._current[s] = None
+        soa = self._soa
+        if soa is not None:
+            # Free the slots before on_block_retired may dispatch a
+            # replacement block into them. detach() first: late
+            # register-release events on these warps must not write
+            # into a reassigned slot.
+            for warp in block.warps:
+                warp.detach()
+                soa.release(warp.slot)
         self.on_block_retired(self)
 
     def _check_block_drain(self, warp: WarpContext) -> None:
@@ -184,6 +227,326 @@ class SM:
             caba.observe(issued, n_sched)
         return issued
 
+    def tick_soa(self, cycle: int) -> int:
+        """``tick`` for the vectorized core: byte-identical observable
+        behaviour, but a scheduler slot is classified without a warp
+        scan wherever a memoized outcome is provably still valid, and
+        scans that do run pre-screen their warps against the batched
+        SoA scoreboard pass instead of attempting issue per warp.
+
+        A memo is valid while the scheduler's seq counter is unchanged
+        (tier 1: scoreboard/idle outcomes) and, for unit-gated stalls
+        (tier 2), while the LSU/SFU/heavy-ALU reservations and the SM's
+        MSHR epoch are also unchanged and no reserved unit has freed up
+        (``expiry``). Assist warps still get their reference-order
+        chance at every slot — ``issue_high``/``issue_low`` rotate
+        their queues and consume unit state even on stall cycles, so
+        they are re-run for real, never replayed.
+        """
+        self.now = cycle
+        self._wake_hint = _INF
+        caba = self.caba
+        if caba is not None:
+            caba.tick(cycle)
+        issued = 0
+        slots = self.stats.slots
+        last = self._last_slots
+        ledger = self._ledger
+        n_sched = self.config.schedulers_per_sm
+        soa = self._soa
+        seq = soa.seq
+        memos = self._memos
+        gid0 = self._gid0
+        for s in range(n_sched):
+            g = gid0 + s
+            m = memos[s]
+            if m is not None and m[0] == seq[g] and (
+                m[3] == 1
+                or (
+                    self._lsu_free == m[4]
+                    and self._sfu_free == m[5]
+                    and self._heavy_alu_free == m[6]
+                    and cycle < m[8]
+                    and (
+                        m[7] < 0
+                        or self.memory.mshr_epoch[self.sm_id] == m[7]
+                    )
+                )
+            ):
+                if caba is not None and (
+                    caba.issue_high(s, cycle) or caba.issue_low(s, cycle)
+                ):
+                    # An assist warp took the slot, exactly as it would
+                    # have after the (unchanged) parent scan stalled.
+                    self._attr_warp = ASSIST_WARP
+                    cat = _CAT_ASSIST
+                    if ledger is not None:
+                        cat = self._charge(ledger, s, cat)
+                    slot = _CAT_SLOT[cat]
+                    slots[slot] += 1
+                    last[s] = slot
+                    issued += 1
+                    continue
+                hint = m[9]
+                if hint < self._wake_hint:
+                    self._wake_hint = hint
+                cat = m[1]
+                if ledger is not None:
+                    self._last_cats[s] = (cat, m[2])
+                    ledger.charge(self.sm_id, s, cat, m[2])
+                slot = _CAT_SLOT[cat]
+                slots[slot] += 1
+                last[s] = slot
+                continue
+            screen = soa.screen(g, cycle)
+            if screen is None:
+                # Scheduler state changed after this cycle's screen was
+                # computed (an earlier slot issued, a barrier released,
+                # a block dispatched): run the reference scan verbatim.
+                self._scan_safe = False
+                cat = self._issue_slot(s, cycle)
+            else:
+                cat = self._issue_slot_soa(s, cycle, screen)
+            if ledger is not None:
+                cat = self._charge(ledger, s, cat)
+            slot = _CAT_SLOT[cat]
+            slots[slot] += 1
+            last[s] = slot
+            if slot is Slot.ACTIVE:
+                issued += 1
+                memos[s] = None
+                continue
+            kind = _MEMO_KIND[slot]
+            if kind == 1:
+                # Scoreboard/idle: a pure function of seq-tracked warp
+                # state. No structural candidate was reached, so the
+                # parent scan contributed no wake hint.
+                wid = self._last_cats[s][1] if ledger is not None else NO_WARP
+                memos[s] = (seq[g], cat, wid, 1, 0, 0, 0, 0, 0, _INF)
+            elif kind == 2 and self._scan_safe:
+                lsu = self._lsu_free
+                sfu = self._sfu_free
+                heavy = self._heavy_alu_free
+                expiry = _INF
+                if lsu > cycle:
+                    expiry = lsu
+                if cycle < sfu < expiry:
+                    expiry = sfu
+                if cycle < heavy < expiry:
+                    expiry = heavy
+                wid = self._last_cats[s][1] if ledger is not None else NO_WARP
+                # A stall that never saw an MSHR status is independent
+                # of MSHR state: every memory candidate failed on the
+                # LSU-port gate (or there were none), which an epoch
+                # bump cannot change. -1 marks the memo epoch-free.
+                memos[s] = (
+                    seq[g], cat, wid, 2, lsu, sfu, heavy,
+                    self.memory.mshr_epoch[self.sm_id]
+                    if cat == _CAT_MSHR_FULL else -1,
+                    expiry, self._scan_hint,
+                )
+            else:
+                memos[s] = None
+        if caba is not None:
+            caba.observe(issued, n_sched)
+        return issued
+
+    def _issue_slot_soa(self, s: int, cycle: int, screen: list[int]) -> int:
+        """``_issue_slot`` with the per-warp scoreboard checks replaced
+        by the pre-computed screen codes: ``< SCREEN_BLOCKED`` is a
+        candidate (the code is its instruction class), ``< 32`` is
+        scoreboard-blocked, the rest are finished/barrier/assist-gated.
+
+        Unit reservations cannot change across a scan's *failed*
+        attempts, so the structural gates every issue path checks first
+        are hoisted out of the per-candidate work: a candidate whose
+        class targets a busy unit is skipped with exactly the status
+        and wake hint its issue attempt would have produced.
+
+        Also separates the parent scan's wake-hint contribution from
+        assist-warp attempts (``_scan_hint``) and records whether the
+        outcome is replay-stable (``_scan_safe``): a deep MSHR probe
+        that did not arm the per-warp epoch pre-check — a partial line
+        send — can make progress on the very next retry, so such a
+        stall must not be memoized.
+        """
+        caba = self.caba
+        if caba is not None and caba.issue_high(s, cycle):
+            self._attr_warp = ASSIST_WARP
+            return _CAT_ASSIST
+        self._scan_safe = True
+        h0 = self._wake_hint
+        self._wake_hint = _INF
+        saw = 0
+        lsu_free = self._lsu_free
+        lsu_busy = lsu_free > cycle
+        sfu_free = self._sfu_free
+        sfu_busy = sfu_free > cycle
+        heavy_free = self._heavy_alu_free
+        heavy_busy = heavy_free > cycle
+        mshr_epoch = self.memory.mshr_epoch[self.sm_id]
+        current = self._current[s] if self._greedy else None
+        # A stale greedy current whose block has retired is detached
+        # from the arrays (its slot may have been reassigned); it is
+        # finished, so the reference scan would skip it too.
+        if current is not None and current.soa is not None:
+            code = screen[current.slot]
+            if code < 16:
+                if (code == 1 or code == 4) and lsu_busy:
+                    saw = _SAW_LSU
+                    if lsu_free < self._wake_hint:
+                        self._wake_hint = lsu_free
+                elif code == 4 and (
+                    current.mshr_fail_epoch == mshr_epoch
+                    and current.coal_key == (current.pc, current.iteration)
+                ):
+                    saw = _SAW_MSHR
+                elif code == 2 and sfu_busy:
+                    saw = _SAW_ALU
+                    if sfu_free < self._wake_hint:
+                        self._wake_hint = sfu_free
+                elif code == 3 and heavy_busy:
+                    saw = _SAW_ALU
+                    if heavy_free < self._wake_hint:
+                        self._wake_hint = heavy_free
+                else:
+                    status = self._try_issue(current, cycle)
+                    if status == _OK:
+                        self._attr_warp = current.global_index
+                        self._merge_scan_hint(h0)
+                        return _CAT_ISSUE
+                    saw = 1 << status
+                    if status == _STRUCT_MSHR and (
+                        current.mshr_fail_epoch != mshr_epoch
+                    ):
+                        self._scan_safe = False
+            elif code < 32:
+                saw = _SAW_DEP
+        warps = self.sched_warps[s]
+        n = len(warps)
+        if self._greedy:
+            for warp in warps:
+                if warp is current:
+                    continue
+                code = screen[warp.slot]
+                if code:
+                    if code >= 32:
+                        continue
+                    if code >= 16:
+                        saw |= _SAW_DEP
+                        continue
+                    if code == 4:
+                        if lsu_busy:
+                            saw |= _SAW_LSU
+                            if lsu_free < self._wake_hint:
+                                self._wake_hint = lsu_free
+                            continue
+                        if warp.mshr_fail_epoch == mshr_epoch and (
+                            warp.coal_key == (warp.pc, warp.iteration)
+                        ):
+                            saw |= _SAW_MSHR
+                            continue
+                    elif code == 1:
+                        if lsu_busy:
+                            saw |= _SAW_LSU
+                            if lsu_free < self._wake_hint:
+                                self._wake_hint = lsu_free
+                            continue
+                    elif code == 2:
+                        if sfu_busy:
+                            saw |= _SAW_ALU
+                            if sfu_free < self._wake_hint:
+                                self._wake_hint = sfu_free
+                            continue
+                    elif heavy_busy:  # code == 3
+                        saw |= _SAW_ALU
+                        if heavy_free < self._wake_hint:
+                            self._wake_hint = heavy_free
+                        continue
+                status = self._try_issue(warp, cycle)
+                if status == _OK:
+                    self._current[s] = warp
+                    self._attr_warp = warp.global_index
+                    self._merge_scan_hint(h0)
+                    return _CAT_ISSUE
+                saw |= 1 << status
+                if status == _STRUCT_MSHR and (
+                    warp.mshr_fail_epoch != mshr_epoch
+                ):
+                    self._scan_safe = False
+        else:
+            # LRR never has a greedy current warp.
+            start = self._rr[s] % max(1, n)
+            for k in range(n):
+                warp = warps[(start + k) % n]
+                code = screen[warp.slot]
+                if code:
+                    if code >= 32:
+                        continue
+                    if code >= 16:
+                        saw |= _SAW_DEP
+                        continue
+                    if code == 4:
+                        if lsu_busy:
+                            saw |= _SAW_LSU
+                            if lsu_free < self._wake_hint:
+                                self._wake_hint = lsu_free
+                            continue
+                        if warp.mshr_fail_epoch == mshr_epoch and (
+                            warp.coal_key == (warp.pc, warp.iteration)
+                        ):
+                            saw |= _SAW_MSHR
+                            continue
+                    elif code == 1:
+                        if lsu_busy:
+                            saw |= _SAW_LSU
+                            if lsu_free < self._wake_hint:
+                                self._wake_hint = lsu_free
+                            continue
+                    elif code == 2:
+                        if sfu_busy:
+                            saw |= _SAW_ALU
+                            if sfu_free < self._wake_hint:
+                                self._wake_hint = sfu_free
+                            continue
+                    elif heavy_busy:  # code == 3
+                        saw |= _SAW_ALU
+                        if heavy_free < self._wake_hint:
+                            self._wake_hint = heavy_free
+                        continue
+                status = self._try_issue(warp, cycle)
+                if status == _OK:
+                    self._current[s] = warp
+                    self._attr_warp = warp.global_index
+                    self._rr[s] = (start + k + 1) % max(1, n)
+                    self._merge_scan_hint(h0)
+                    return _CAT_ISSUE
+                saw |= 1 << status
+                if status == _STRUCT_MSHR and (
+                    warp.mshr_fail_epoch != mshr_epoch
+                ):
+                    self._scan_safe = False
+        self._merge_scan_hint(h0)
+        if caba is not None and caba.issue_low(s, cycle):
+            self._attr_warp = ASSIST_WARP
+            return _CAT_ASSIST
+        if saw & _SAW_MEM:
+            return _CAT_MSHR_FULL if saw & _SAW_MSHR else _CAT_LSU
+        if saw & _SAW_ALU:
+            return _CAT_COMPUTE
+        if saw & _SAW_DEP:
+            return _CAT_SCOREBOARD
+        return _CAT_IDLE
+
+    def _merge_scan_hint(self, h0: float) -> None:
+        """End the parent-scan wake-hint capture window: remember the
+        scan's own contribution (for memo replay) and fold the
+        pre-scan accumulator back in."""
+        hint = self._wake_hint
+        self._scan_hint = hint
+        if h0 < hint:
+            self._wake_hint = h0
+
     def replay_stall(self, skipped: int) -> None:
         """Account ``skipped`` fast-forwarded cycles with the last
         classification (no state changed during the gap)."""
@@ -197,7 +560,14 @@ class SM:
 
     def next_wake(self, cycle: int) -> float:
         """Earliest cycle at which this SM might make progress without an
-        external event (used for fast-forwarding)."""
+        external event (used for fast-forwarding).
+
+        ``cycle`` is the most recently *simulated* cycle (the caller has
+        already advanced its clock past it, hence the ``cycle - 1`` at
+        the call site): with assist work queued the SM must be ticked on
+        the very next cycle, and ``_wake_hint`` is an absolute cycle
+        collected from the scan's structural-hazard hints during that
+        same tick."""
         if self.caba is not None and self.caba.has_pending_work():
             return cycle + 1
         return self._wake_hint
@@ -394,8 +764,12 @@ class SM:
         if not dst_mask:
             return
         ctx.pending_mask |= dst_mask
+        if ctx.soa is not None:
+            touch(ctx)
         def release() -> None:
             ctx.pending_mask &= ~dst_mask
+            if ctx.soa is not None:
+                touch(ctx)
         self.schedule(until, release)
 
     # --- Memory --------------------------------------------------------
@@ -461,6 +835,8 @@ class SM:
         if self.caba is not None:
             self.caba.on_global_load(warp, lines, cycle)
         warp.pending_mask |= instr.dst_mask
+        if warp.soa is not None:
+            touch(warp)
         warp.outstanding_mem += 1
         if self._ledger is not None:
             # Deepest level any of this warp's fills travelled to; used
@@ -477,6 +853,8 @@ class SM:
             remaining -= 1
             if remaining == 0:
                 warp.pending_mask &= ~instr.dst_mask
+                if warp.soa is not None:
+                    touch(warp)
                 warp.outstanding_mem -= 1
                 self._check_block_drain(warp)
 
@@ -551,7 +929,10 @@ class SM:
     # ------------------------------------------------------------------
     def _on_warp_finished(self, warp: WarpContext) -> None:
         self.stats.warps_finished += 1
-        warp.at_barrier = False
+        if warp.at_barrier:
+            warp.at_barrier = False
+            if warp.soa is not None:
+                touch(warp)
         block = warp.block
         if block.note_warp_finished():
             block.all_finished = True

@@ -1,0 +1,194 @@
+"""Structure-of-arrays mirror of scheduler-visible warp state.
+
+The per-warp issue scan in :mod:`repro.gpu.sm` is the innermost loop of
+the simulator: every scheduler, every cycle, walks its warps and asks
+each one "could you issue?". Almost every answer is "no, same reason as
+last cycle" — the warp is scoreboard-blocked on an in-flight load, or
+parked at a barrier, or the whole scheduler is idle. This module holds
+the machinery that lets the SM answer those questions in bulk:
+
+* ``SoAState`` mirrors the fields the scan reads (pc, scoreboard
+  pending mask, finished/barrier/assist gating) into flat numpy arrays,
+  one slot per resident warp, so one vectorized pass per cycle can
+  pre-classify every warp of every SM as *candidate*, *scoreboard
+  blocked* or *inactive* (the "screen").
+* A per-scheduler *sequence counter* is bumped by every mutation of a
+  screen-visible field of that scheduler's warps (every mutation site
+  calls ``repro.gpu.warp.touch``). A screen — or any memoized scan
+  result — is valid for a scheduler exactly while its sequence counter
+  is unchanged; anything that could change the scan outcome (an event
+  callback clearing a scoreboard bit, a barrier release, a block
+  dispatch) invalidates by construction, and the SM falls back to the
+  reference scan for that scheduler.
+
+The arrays are mirrors, synced at mutation sites: Python-side reads
+keep using the plain warp attributes (scalar numpy reads are slower
+than attribute access), and the arrays are only ever read by the
+batched screen.
+
+Enabled via ``REPRO_SOA`` (default on when numpy is importable),
+mirroring the ``REPRO_NUMPY`` pattern from ``repro.compression.batch``.
+The flag is read per simulation, so tests can flip modes per run.
+"""
+
+from __future__ import annotations
+
+import os
+
+try:  # pragma: no cover - exercised via both CI legs
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None
+
+from repro.gpu.isa import MemSpace, OpKind
+
+
+def soa_enabled() -> bool:
+    """Whether new simulations should use the vectorized core."""
+    if np is None:
+        return False
+    return os.environ.get("REPRO_SOA", "1") != "0"
+
+
+#: Screen codes (one per warp slot, from the batched per-cycle pass).
+#: A candidate's code is its *instruction class*: the execution unit
+#: whose reservation every issue path for that op kind checks before
+#: any side effect. When that unit is busy the scan can skip the issue
+#: attempt entirely — the status and wake hint the attempt would have
+#: produced are determined by the class alone.
+KLASS_ANY = 0  # always structurally issuable (light ALU, SYNC, MEMO)
+KLASS_MEM = 1  # STORE / on-chip LOAD: gated on the LSU port
+KLASS_SFU = 2  # gated on the SFU initiation interval
+KLASS_HEAVY = 3  # long-latency ALU: gated on the narrow heavy pipe
+#: Global LOAD: gated on the LSU port, then on the armed per-warp MSHR
+#: pre-check (same instruction, MSHR state untouched since the last
+#: failed attempt -> fails again, side-effect free).
+KLASS_GLOAD = 4
+SCREEN_BLOCKED = 16  # scoreboard-blocked on its next instruction
+SCREEN_INACTIVE = 32  # finished, at a barrier, or assist-gated
+
+
+class SoAState:
+    """Flat per-warp arrays plus the per-scheduler invalidation seqs.
+
+    Warp slots are global across the machine: SM ``i`` owns slots
+    ``[i * cap, (i + 1) * cap)`` where ``cap`` is the per-SM residency
+    limit. Scheduler ids ("gids") are global too:
+    ``gid = sm_id * schedulers_per_sm + sched``. A slot that is not
+    bound to a scheduler points at a sentinel gid whose seq counter
+    absorbs stray touches.
+    """
+
+    def __init__(self, n_sms: int, n_sched: int, cap: int, program) -> None:
+        if np is None:  # pragma: no cover - guarded by soa_enabled()
+            raise RuntimeError("SoAState requires numpy")
+        self.cap = cap
+        n_slots = n_sms * cap
+        self.n_gids = n_sms * n_sched
+        #: Scoreboard masks; register indices are < 64 (repro.gpu.isa
+        #: validates), so a warp's pending mask fits uint64 exactly.
+        self.pending = np.zeros(n_slots, dtype=np.uint64)
+        self.pc = np.zeros(n_slots, dtype=np.int64)
+        #: 1 when the warp is finished, at a barrier, or assist-gated;
+        #: the scheduler skips such a warp without attempting issue.
+        self.inactive = np.zeros(n_slots, dtype=np.int8)
+        #: Per-scheduler invalidation counters (+1 sentinel for unbound
+        #: slots); plain list — single-element bumps dominate.
+        self.seq: list[int] = [0] * (self.n_gids + 1)
+        #: Scheduler owning each slot (sentinel ``n_gids`` = unbound).
+        self.gid_of: list[int] = [self.n_gids] * n_slots
+        #: Free slots per SM; popped lowest-first for determinism.
+        self._free: list[list[int]] = [
+            list(range(cap * (i + 1) - 1, cap * i - 1, -1))
+            for i in range(n_sms)
+        ]
+
+        body = program.body
+        #: Registers the instruction at each pc waits on: the issue
+        #: scan's scoreboard check is ``pending & (src | dst)``.
+        self.need_lut = np.array(
+            [(instr.src_mask | instr.dst_mask) for instr in body]
+            or [0],
+            dtype=np.uint64,
+        )
+        # sm.py never imports this module (the simulator wires the two
+        # together), so pulling the heavy-pipe threshold from it is
+        # cycle-free.
+        from repro.gpu.sm import HEAVY_ALU_LATENCY
+
+        def klass(instr) -> int:
+            kind = instr.kind
+            if kind is OpKind.LOAD and instr.space is MemSpace.GLOBAL:
+                return KLASS_GLOAD
+            if kind is OpKind.LOAD or kind is OpKind.STORE:
+                return KLASS_MEM
+            if kind is OpKind.SFU:
+                return KLASS_SFU
+            if kind is OpKind.ALU and instr.latency >= HEAVY_ALU_LATENCY:
+                return KLASS_HEAVY
+            return KLASS_ANY
+
+        #: Instruction class at each pc (candidate screen codes).
+        self.klass_lut = np.array(
+            [klass(instr) for instr in body] or [0], dtype=np.int8
+        )
+        self._program = program
+
+        # Lazily computed per-cycle screen (see screen()).
+        self._screen: list[int] = []
+        self._screen_seq: list[int] = []
+        self._screen_cycle = -1
+
+    # ------------------------------------------------------------------
+    # Slot lifecycle
+    # ------------------------------------------------------------------
+    def alloc(self, sm_id: int, program) -> int:
+        """Claim a slot for a new resident warp of ``sm_id``."""
+        if program is not self._program:  # pragma: no cover - one kernel
+            raise AssertionError("SoAState is specialized to one program")
+        return self._free[sm_id].pop()
+
+    def bind(self, slot: int, gid: int) -> None:
+        """Attach a slot to its scheduler; the scheduler's warp set
+        changed, so its memoized state is invalidated."""
+        self.gid_of[slot] = gid
+        self.seq[gid] += 1
+
+    def release(self, slot: int) -> None:
+        """Return a retired warp's slot to the free pool."""
+        self.seq[self.gid_of[slot]] += 1
+        self.gid_of[slot] = self.n_gids
+        self.pending[slot] = 0
+        self.pc[slot] = 0
+        self.inactive[slot] = 0
+        self._free[slot // self.cap].append(slot)
+
+    # ------------------------------------------------------------------
+    # The batched screen
+    # ------------------------------------------------------------------
+    def screen(self, gid: int, cycle: int) -> list[int] | None:
+        """Screen codes for ``cycle``, or None if scheduler ``gid``
+        mutated since the codes were computed (caller must fall back to
+        the reference scan).
+
+        Computed at most once per cycle, for all SMs at once: one
+        vectorized scoreboard check against the need-LUT plus the
+        inactive flags, folded with the instruction class so a
+        candidate's code tells the scan which unit gates it
+        (``code < SCREEN_BLOCKED``). Per-scheduler validity comes from
+        comparing the seq counters captured at compute time.
+        """
+        if self._screen_cycle != cycle:
+            pc = self.pc
+            blocked = (self.pending & self.need_lut[pc]) != 0
+            inactive = self.inactive != 0
+            self._screen = (
+                self.klass_lut[pc]
+                + blocked.view(np.int8) * SCREEN_BLOCKED
+                + inactive.view(np.int8) * SCREEN_INACTIVE
+            ).tolist()
+            self._screen_seq = self.seq.copy()
+            self._screen_cycle = cycle
+        if self._screen_seq[gid] != self.seq[gid]:
+            return None
+        return self._screen

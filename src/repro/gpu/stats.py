@@ -32,6 +32,17 @@ SLOT_LABELS = {
     Slot.IDLE: "Idle Cycles",
 }
 
+#: Slots whose classification is a function of scheduler-visible warp
+#: state alone (scoreboard masks, barrier/assist gating). The
+#: vectorized core (repro.gpu.soa) may replay such a classification
+#: verbatim while that state is unchanged.
+STATE_ONLY_SLOTS = frozenset({Slot.DATA_STALL, Slot.IDLE})
+
+#: Slots additionally gated by shared execution-unit state (LSU/SFU/
+#: heavy-ALU reservations, MSHR occupancy); replaying them also
+#: requires the unit state to be provably unchanged.
+UNIT_SLOTS = frozenset({Slot.COMPUTE_STALL, Slot.MEMORY_STALL})
+
 
 @dataclass
 class SmStats:

@@ -17,6 +17,13 @@ from repro.gpu.isa import Instr, Program
 class WarpContext:
     """Dynamic state of one resident warp."""
 
+    #: SoA mirror handle. ``None`` on the reference path (and on assist
+    #: warps); :class:`SoAWarpContext` overrides it with a real slot.
+    #: Mutation sites test ``warp.soa is not None`` before calling
+    #: :func:`touch`, so the reference path pays one class-attribute
+    #: read per state-changing event and nothing else.
+    soa = None
+
     __slots__ = (
         "global_index",
         "block",
@@ -93,6 +100,73 @@ class WarpContext:
         return self.finished and self.outstanding_mem == 0
 
 
+def touch(warp) -> None:
+    """Write one warp's screen-visible state through to its SoA mirror
+    slot and invalidate the owning scheduler's memoized scan results.
+
+    Every site that mutates a tracked field (``pc``, ``pending_mask``,
+    ``finished``, ``at_barrier``, ``assist_block``) calls this — guarded
+    by ``warp.soa is not None`` so the reference path and detached
+    warps skip it with a single attribute read. The fields stay plain
+    slot attributes: an earlier property-based write-through doubled
+    the cost of every hot-path *read* (the issue scan reads
+    ``pending_mask``/``pc`` millions of times per run), whereas
+    mutations are comparatively rare events.
+
+    Fields that never influence the issue scan or its traced
+    refinements independently of a tracked field (``iteration``,
+    ``outstanding_mem``, ``mem_source``, the coalescer memo,
+    ``mshr_fail_epoch``) are untracked: every behavioural write to
+    them is adjacent to a tracked write on the same warp.
+    """
+    soa = warp.soa
+    slot = warp.slot
+    soa.pending[slot] = warp.pending_mask
+    soa.pc[slot] = warp.pc
+    soa.inactive[slot] = (
+        1 if (warp.finished or warp.at_barrier or warp.assist_block) else 0
+    )
+    soa.seq[soa.gid_of[slot]] += 1
+
+
+class SoAWarpContext(WarpContext):
+    """A warp whose screen-visible state is mirrored into a
+    :class:`repro.gpu.soa.SoAState` slot.
+
+    The scheduler-facing contract is identical to :class:`WarpContext`
+    — same plain attributes, same costs on the read side. The mirror is
+    kept in sync by :func:`touch` calls at the mutation sites, plus the
+    :meth:`advance` override below for the hottest write (the program
+    counter moving past an issued instruction).
+    """
+
+    __slots__ = ("soa", "slot")
+
+    def __init__(self, soa, slot: int, global_index: int,
+                 block: "BlockContext", program: Program, age: int) -> None:
+        self.soa = soa
+        self.slot = slot
+        super().__init__(global_index, block, program, age)
+
+    def advance(self) -> bool:
+        finished = super().advance()
+        soa = self.soa
+        if soa is not None:
+            slot = self.slot
+            soa.pc[slot] = self.pc
+            if finished:
+                soa.inactive[slot] = 1
+            soa.seq[soa.gid_of[slot]] += 1
+        return finished
+
+    def detach(self) -> None:
+        """Disconnect from the arrays (called when the slot is
+        released). Late register-release events on retired warps keep
+        mutating the plain attributes, but must not write into a slot
+        that may already belong to a new warp."""
+        self.soa = None
+
+
 class BlockContext:
     """Dynamic state of one resident thread block."""
 
@@ -116,6 +190,8 @@ class BlockContext:
     def arrive_at_barrier(self, warp: WarpContext) -> bool:
         """Register a barrier arrival; True when the barrier releases."""
         warp.at_barrier = True
+        if warp.soa is not None:
+            touch(warp)
         self.barrier_arrivals += 1
         # Finished warps never reach the barrier again; they count as
         # permanently arrived (CUDA semantics: exited threads do not
@@ -124,7 +200,10 @@ class BlockContext:
         if self.barrier_arrivals >= live:
             self.barrier_arrivals = 0
             for member in self.warps:
-                member.at_barrier = False
+                if member.at_barrier:
+                    member.at_barrier = False
+                    if member.soa is not None:
+                        touch(member)
             return True
         return False
 

@@ -10,7 +10,10 @@ surface:
   batch, cached planes) on real application images,
 * :mod:`repro.verify.invariants` — conservation laws replayed on traced
   simulation runs (issue slots, MSHRs, flits, DRAM bursts, compressed
-  cache budgets).
+  cache budgets),
+* :mod:`repro.verify.soa` — byte-identical agreement of the vectorized
+  (``REPRO_SOA``) and pure-Python simulator cores on replayed runs
+  (skipped gracefully without numpy).
 
 :func:`run_checks` orchestrates the passes into one
 :class:`~repro.verify.report.CheckReport`; the CLI's exit code is
@@ -28,6 +31,7 @@ from repro.verify.generators import GENERATOR_NAMES, make_generator
 from repro.verify.invariants import check_invariants
 from repro.verify.invariants import DEFAULT_APPS as INVARIANT_APPS
 from repro.verify.report import CheckReport, CheckResult
+from repro.verify.soa import soa_differential
 
 __all__ = [
     "ALL_ALGORITHMS",
@@ -39,6 +43,7 @@ __all__ = [
     "fuzz_roundtrip",
     "make_generator",
     "run_checks",
+    "soa_differential",
 ]
 
 
@@ -50,6 +55,7 @@ def run_checks(
     fuzz: bool = True,
     differential: bool = True,
     invariants: bool = True,
+    soa: bool = True,
     differential_apps: Sequence[str] | None = None,
     differential_lines: int | None = None,
 ) -> CheckReport:
@@ -63,7 +69,7 @@ def run_checks(
         apps: App image set for the differential and invariant passes
             (defaults per pass: Fig-11 spanning set / golden trio).
         algorithms: Algorithm subset (default: all five).
-        fuzz / differential / invariants: Enable individual passes.
+        fuzz / differential / invariants / soa: Enable individual passes.
         differential_apps: Override ``apps`` for the differential pass
             only (``repro check --all`` widens it to every app without
             also replaying a simulation per app).
@@ -88,5 +94,12 @@ def run_checks(
         report.extend(check_invariants(
             apps=tuple(apps) if apps else INVARIANT_APPS,
             algorithms=algorithm_set,
+        ))
+    if soa:
+        from repro.verify.soa import DEFAULT_APPS as SOA_APPS
+
+        report.extend(soa_differential(
+            apps=tuple(apps) if apps else SOA_APPS,
+            algorithm=algorithm_set[0],
         ))
     return report

@@ -122,7 +122,87 @@ class TestDeterminism:
         assert first.memory.stats.dram_reads == second.memory.stats.dram_reads
 
 
-class TestCabaRequirement:
+class TestFastForwardIdentity:
+    """Fast-forwarding is an accounting shortcut, not a model change.
+
+    The jump must resume on exactly the cycle the full-tick loop would
+    next make progress on — this pins the ``next_wake(cycle - 1)``
+    contract in ``Simulator._fast_forward`` (the caller's clock has
+    already advanced past the zero-issue tick) against off-by-ones.
+    Identity is contractual for designs without a CABA controller; the
+    controller's utilization EMA samples *executed* cycles, so CABA
+    designs define their semantics with fast-forward on.
+    """
+
+    @staticmethod
+    def _fingerprint(sim, result):
+        return repr(result.stats) + "".join(
+            repr(sm.stats.__dict__) for sm in sim.sms
+        )
+
+    def _run_synthetic(self, fast_forward):
+        body = [
+            Instr(OpKind.LOAD, dst_mask=reg_mask(3), src_mask=reg_mask(0),
+                  space=MemSpace.GLOBAL,
+                  addr_fn=lambda w, i: (1000 + (w * 37 + i * 11) % 500,)),
+            alu_i(dst=1, src=3),
+            alu_i(dst=2, src=1, latency=12),
+        ]
+        config = GPUConfig.small()
+        sim = Simulator(
+            config,
+            make_kernel(body, iterations=6),
+            designs.base(),
+            plain_image(config),
+            fast_forward=fast_forward,
+        )
+        result = sim.run()
+        return result, self._fingerprint(sim, result)
+
+    def test_synthetic_memory_kernel(self):
+        full, full_key = self._run_synthetic(fast_forward=False)
+        jumped, jumped_key = self._run_synthetic(fast_forward=True)
+        assert jumped.cycles == full.cycles
+        assert jumped_key == full_key
+
+    def _run_workload(self, fast_forward, traced):
+        from repro.core.params import CabaParams
+        from repro.harness.runner import _make_caba_factory, build_image
+        from repro.obs import RunObservation
+        from repro.workloads.apps import get_app
+        from repro.workloads.tracegen import TraceScale, build_kernel
+
+        config = GPUConfig.small()
+        scale = TraceScale(work=0.1)
+        point = designs.base()
+        profile = get_app("MM")
+        image = build_image(profile, point, config, scale)
+        kernel = build_kernel(profile, config, scale)
+        factory, regs = _make_caba_factory(
+            point, config, CabaParams(), plane=image.plane
+        )
+        obs = RunObservation.for_config(config) if traced else None
+        sim = Simulator(
+            config, kernel, point, image,
+            caba_factory=factory,
+            assist_regs_per_thread=regs,
+            obs=obs,
+            fast_forward=fast_forward,
+        )
+        result = sim.run()
+        payload = obs.export() if traced else None
+        return result, self._fingerprint(sim, result), payload
+
+    @pytest.mark.parametrize("traced", [False, True])
+    def test_workload_identity(self, traced):
+        full, full_key, full_obs = self._run_workload(False, traced)
+        jumped, jumped_key, jumped_obs = self._run_workload(True, traced)
+        assert jumped.cycles == full.cycles
+        assert jumped_key == full_key
+        # The stall ledger charges skipped slots during a jump; traced
+        # runs must attribute them to the same (category, warp) pairs
+        # the full-tick loop would have.
+        assert jumped_obs == full_obs
     def test_caba_design_requires_factory(self):
         config = GPUConfig.small()
         with pytest.raises(ValueError):

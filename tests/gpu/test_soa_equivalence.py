@@ -1,0 +1,179 @@
+"""SoA-vs-reference equivalence suite.
+
+``REPRO_SOA`` selects between the vectorized warp-state core (numpy
+structure-of-arrays screen, memoized scans) and the pure-Python
+reference scan. The two are contractually byte-identical: same cycle
+counts, same per-SM slot accounting, same memory traffic, same figures.
+This suite pins that contract three ways:
+
+* the reference mode must reproduce ``tests/fixtures/golden_stats.json``
+  byte-exactly (the fixture pins the default mode, so transitivity
+  gives SoA == reference over the full 3-app x 5-algorithm matrix);
+* both modes are compared head to head on representative workload runs,
+  down to the per-SM slot counters;
+* hypothesis-fuzzed kernels are run in both modes and compared.
+
+CI runs the whole test suite once per mode (``REPRO_SOA=0`` leg); this
+file is the targeted cross-mode check that works within a single leg.
+"""
+
+import json
+import os
+from contextlib import contextmanager
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import design as designs
+from repro.gpu import soa as soa_mod
+from repro.gpu.config import GPUConfig
+from repro.harness.runner import clear_caches, run_app
+from repro.workloads.tracegen import TraceScale
+
+from tests.gpu.test_simulator_fuzz import bodies, run_program
+from tests.harness.test_golden_stats import (
+    APPS,
+    ALGORITHMS,
+    FIXTURE,
+    SCALE,
+    _design_for,
+    _snapshot,
+)
+
+has_numpy = soa_mod.np is not None
+
+
+@contextmanager
+def soa_mode(flag: str):
+    """Force ``REPRO_SOA`` for the simulations inside the block."""
+    prior = os.environ.get("REPRO_SOA")
+    os.environ["REPRO_SOA"] = flag
+    try:
+        yield
+    finally:
+        if prior is None:
+            os.environ.pop("REPRO_SOA", None)
+        else:
+            os.environ["REPRO_SOA"] = prior
+
+
+def _fingerprint(result):
+    """Cross-mode comparable summary of a raw simulation result."""
+    return {
+        "cycles": result.cycles,
+        "parent_instructions": result.stats.parent_instructions,
+        "assist_instructions": result.stats.assist_instructions,
+        "slots": [list(sm.slots) for sm in result.stats.sms],
+        "dram_reads": result.memory.stats.dram_reads,
+        "dram_writes": result.memory.stats.dram_writes,
+    }
+
+
+# ----------------------------------------------------------------------
+# Reference mode vs. the golden fixture (full app/algorithm matrix)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("app", APPS)
+def test_reference_mode_matches_golden(app, algorithm):
+    """The pure-Python scan reproduces the pinned stats byte-exactly.
+
+    The fixture is (re)generated under the default mode — SoA wherever
+    numpy is available — so this closes the loop: reference == golden
+    == SoA for every (app, algorithm) cell.
+    """
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        pytest.skip("fixture is being regenerated")
+    golden = json.loads(Path(FIXTURE).read_text())
+    key = f"{app}/{algorithm}"
+    assert key in golden, f"fixture has no entry for {key}"
+    with soa_mode("0"):
+        clear_caches()
+        run = run_app(app, _design_for(algorithm), GPUConfig.small(),
+                      scale=SCALE, use_cache=False)
+    assert _snapshot(run) == golden[key]
+
+
+# ----------------------------------------------------------------------
+# Head-to-head on representative workloads (per-SM granularity)
+# ----------------------------------------------------------------------
+@pytest.mark.skipif(not has_numpy, reason="SoA mode needs numpy")
+@pytest.mark.parametrize("app,algorithm", [
+    ("PVC", "bdi"),        # memory-bound, assist warps + decompression
+    ("MM", "none"),        # compute-leaning baseline
+    ("CONS", "bestofall"), # store-heavy, composed algorithm
+])
+def test_modes_agree_head_to_head(app, algorithm):
+    scale = TraceScale(work=0.25, waves=0.25)
+    prints = {}
+    for flag in ("0", "1"):
+        with soa_mode(flag):
+            clear_caches()
+            run = run_app(app, _design_for(algorithm), GPUConfig.small(),
+                          scale=scale, use_cache=False, keep_raw=True)
+        prints[flag] = _fingerprint(run.raw)
+        prints[flag]["stats_repr"] = repr(run.raw.stats)
+    assert prints["0"] == prints["1"]
+
+
+# ----------------------------------------------------------------------
+# Fuzzed kernels in both modes
+# ----------------------------------------------------------------------
+@pytest.mark.skipif(not has_numpy, reason="SoA mode needs numpy")
+@settings(max_examples=10, deadline=None)
+@given(kinds=bodies, iterations=st.integers(min_value=1, max_value=3))
+def test_fuzzed_programs_agree_across_modes(kinds, iterations):
+    with soa_mode("0"):
+        reference = run_program(kinds, iterations, designs.base())
+    with soa_mode("1"):
+        vectorized = run_program(kinds, iterations, designs.base())
+    assert _fingerprint(vectorized) == _fingerprint(reference)
+
+
+@pytest.mark.skipif(not has_numpy, reason="SoA mode needs numpy")
+@settings(max_examples=6, deadline=None)
+@given(kinds=bodies, iterations=st.integers(min_value=1, max_value=3))
+def test_fuzzed_caba_runs_agree_across_modes(kinds, iterations):
+    """Assist-warp machinery (never SoA-mirrored) must not disturb the
+    parent warps' vectorized screen."""
+    from repro.core.controller import CabaController
+    from repro.core.params import CabaParams
+    from repro.core.subroutines import SubroutineLibrary
+    from repro.gpu.kernel import Kernel
+    from repro.gpu.isa import Program
+    from repro.gpu.simulator import Simulator
+    from repro.memory.image import MemoryImage
+    from tests.gpu.test_simulator_fuzz import _instr
+
+    def run_once():
+        config = GPUConfig.small()
+        body = tuple(_instr(kind, salt=i) for i, kind in enumerate(kinds))
+        kernel = Kernel(
+            name="fuzz-caba",
+            program=Program(body=body, iterations=iterations),
+            n_blocks=3,
+            warps_per_block=2,
+            regs_per_thread=16,
+        )
+        from repro.compression import make_algorithm
+        algo = make_algorithm("bdi", config.line_size)
+        image = MemoryImage(
+            lambda line: bytes(config.line_size), algo, config.line_size
+        )
+        library = SubroutineLibrary(line_size=config.line_size)
+
+        def factory(sm):
+            return CabaController(sm, CabaParams(), library, "bdi")
+
+        sim = Simulator(
+            config, kernel, designs.caba("bdi"), image,
+            caba_factory=factory,
+            assist_regs_per_thread=library.register_demand("bdi"),
+        )
+        return sim.run()
+
+    with soa_mode("0"):
+        reference = run_once()
+    with soa_mode("1"):
+        vectorized = run_once()
+    assert _fingerprint(vectorized) == _fingerprint(reference)

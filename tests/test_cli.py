@@ -128,16 +128,18 @@ class TestTrace:
 class TestCheck:
     def test_fuzz_only_quick_passes(self, capsys):
         assert main(["check", "--quick", "--skip-differential",
-                     "--skip-invariants", "--lines", "8"]) == 0
+                     "--skip-invariants", "--skip-soa", "--lines", "8"]) == 0
         out = capsys.readouterr().out
         assert "roundtrip" in out
         assert "all" in out and "passed" in out
 
     def test_lines_knob_scales_units(self, capsys):
         assert main(["check", "--skip-differential", "--skip-invariants",
+                     "--skip-soa",
                      "--algorithms", "bdi", "--lines", "5"]) == 0
         first = capsys.readouterr().out
         assert main(["check", "--skip-differential", "--skip-invariants",
+                     "--skip-soa",
                      "--algorithms", "bdi", "--lines", "10"]) == 0
         second = capsys.readouterr().out
         units = lambda text: int(text.split("checks, ")[1].split(" units")[0])
@@ -145,11 +147,13 @@ class TestCheck:
 
     def test_seed_knob_accepted(self, capsys):
         assert main(["check", "--skip-differential", "--skip-invariants",
+                     "--skip-soa",
                      "--algorithms", "bdi", "--lines", "4",
                      "--seed", "99"]) == 0
 
     def test_apps_knob_limits_differential(self, capsys):
         assert main(["check", "--skip-fuzz", "--skip-invariants",
+                     "--skip-soa",
                      "--apps", "PVC", "--lines", "4"]) == 0
         out = capsys.readouterr().out
         assert "differential" in out
@@ -157,6 +161,7 @@ class TestCheck:
 
     def test_unknown_app_fails_cleanly(self, capsys):
         assert main(["check", "--skip-fuzz", "--skip-invariants",
+                     "--skip-soa",
                      "--apps", "quake3"]) == 2
         assert "error" in capsys.readouterr().err
 
@@ -182,6 +187,7 @@ class TestCheck:
 
         monkeypatch.setattr(fuzz_mod, "make_algorithm", fake_make)
         assert main(["check", "--skip-differential", "--skip-invariants",
+                     "--skip-soa",
                      "--algorithms", "bdi", "--lines", "4"]) == 1
         out = capsys.readouterr().out
         assert "FAILED" in out
@@ -189,6 +195,7 @@ class TestCheck:
 
     def test_verbose_lists_passing_checks(self, capsys):
         assert main(["check", "--skip-differential", "--skip-invariants",
+                     "--skip-soa",
                      "--algorithms", "bdi", "--lines", "4", "-v"]) == 0
         assert "pass roundtrip.bdi" in capsys.readouterr().out
 
@@ -196,3 +203,68 @@ class TestCheck:
         from repro.cli import _COMMANDS
 
         assert "check" in _COMMANDS
+
+
+class TestCheckSoa:
+    def test_soa_pass_alone(self, capsys):
+        assert main(["check", "--skip-fuzz", "--skip-differential",
+                     "--skip-invariants", "--apps", "PVC",
+                     "--algorithms", "bdi"]) == 0
+        out = capsys.readouterr().out
+        assert "soa" in out
+        assert "passed" in out
+
+
+class TestBench:
+    RECORD = {
+        "before": {
+            "python": "3.11",
+            "sim": {"PVC": {"seconds": 4.0, "cycles": 100}},
+        },
+        "after": {
+            "python": "3.11",
+            "sim": {"PVC": {"seconds": 2.0, "cycles": 100}},
+        },
+        "speedup": {"PVC": 2.0},
+    }
+
+    def test_report_renders_trajectory(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "BENCH_runner.json"
+        path.write_text(json.dumps(self.RECORD))
+        assert main(["bench", "report", "--files", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "before" in out and "after" in out
+        assert "sim.PVC.seconds" in out
+        # seconds rows get a first-to-last trend column.
+        assert "2.00x" in out
+        # counts do not.
+        assert "sim.PVC.cycles" in out
+
+    def test_report_defaults_to_checked_in_records(self, capsys,
+                                                   monkeypatch):
+        from pathlib import Path
+
+        monkeypatch.chdir(Path(__file__).parent.parent)
+        assert main(["bench", "report"]) == 0
+        out = capsys.readouterr().out
+        assert "BENCH_runner.json" in out
+        assert "cycle_loop" in out or "sim." in out
+
+    def test_report_without_records_fails_cleanly(self, tmp_path, capsys,
+                                                  monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", "report"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_report_rejects_malformed_json(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        assert main(["bench", "report", "--files", str(path)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_bench_command_is_dispatchable(self):
+        from repro.cli import _COMMANDS
+
+        assert "bench" in _COMMANDS
