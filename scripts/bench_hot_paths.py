@@ -12,6 +12,12 @@ Measures the three paths the perf work targets:
   path by more than 3% over the checked-in baseline, and with numpy
   available the vectorized core must hold the 2x per-run speedup
   acceptance floor (geomean over the benchmark apps).
+* ``cycle_loop_sampled`` — the same per-run ``Simulator.run()`` unit,
+  exact vs. interval-sampled (``repro.gpu.sampling``) at the default
+  10 % detail fraction, at full trace scale (the calibrated operating
+  point). Gated: sampled runs must hold a 3x speedup geomean over the
+  exact SoA path *and* stay within the documented 2 % error bound on
+  IPC and bandwidth utilization.
 * ``bdi`` — BDI compress+decompress round-trip throughput over
   generated application lines (the byte-level inner loop).
 * ``subroutines`` — assist-warp subroutine construction cost (the
@@ -23,10 +29,12 @@ Measures the three paths the perf work targets:
   planes on vs. off.
 * ``trace_overhead`` — the same runs with the observability layer
   attached (``trace=True``), reported as a ratio over the untraced
-  time. The *untraced* path is additionally gated against the
-  checked-in baseline: the observability hooks are designed to be free
-  when disabled, so tracing-disabled wall time must stay within 3% of
-  the recorded ``after`` numbers.
+  time. Gated two ways: the ratio itself must stay under 1.20x (the
+  batched ledger keeps attribution cheap when tracing is *on*), and
+  the *untraced* path is gated against the checked-in baseline — the
+  observability hooks are designed to be free when disabled, so
+  tracing-disabled wall time must stay within 3% of the recorded
+  ``after`` numbers.
 * ``engine_dispatch`` — a multi-spec batch through the fault-tolerant
   per-future engine vs. a raw ``pool.map`` of the same batch, measured
   back to back in the same process. Gated: the engine's retry/timeout
@@ -49,6 +57,7 @@ numbers reflect simulation cost, not cache hits.
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import os
 import platform
@@ -63,6 +72,7 @@ from repro.core.params import CabaParams  # noqa: E402
 from repro.core.subroutines import SubroutineLibrary  # noqa: E402
 from repro.gpu import soa as soa_mod  # noqa: E402
 from repro.gpu.config import GPUConfig  # noqa: E402
+from repro.gpu.sampling import SampleConfig  # noqa: E402
 from repro.gpu.simulator import Simulator  # noqa: E402
 from repro.harness import figures  # noqa: E402
 from repro.harness.runner import (  # noqa: E402
@@ -186,22 +196,131 @@ def bench_cycle_loop(repeats: int, work: float) -> dict:
     return out
 
 
-def bench_trace_overhead(sim_record: dict, repeats: int) -> dict:
-    """Traced re-runs of the ``sim`` points, as a ratio over untraced."""
+def bench_cycle_loop_sampled(repeats: int) -> dict:
+    """Sampled vs. exact ``Simulator.run()`` wall clock, with errors.
+
+    Runs the ``cycle_loop`` benchmark points on the default machine
+    (``GPUConfig.small()``) at full trace scale — the operating point
+    the sampling engine is calibrated for (the full Table-1 machine is
+    outside the certified matrix) — in exact mode and with the default
+    :class:`SampleConfig` (10 % detail), sharing the kernel and image.
+    Records the per-point speedup and the sampled run's relative error
+    on IPC and bandwidth utilization; ``check_runner`` gates the
+    speedup geomean at the 3x acceptance floor and the errors at the
+    documented 2 % bound. Errors are deterministic (sampling has no
+    randomness), so the error gate is exact; only the speedup side is
+    subject to machine noise.
+    """
+    points = [("PVC", designs.caba("bdi")), ("MM", designs.base())]
+    config = GPUConfig.small()
+    scale = TraceScale()
+    sample = SampleConfig()
+    out: dict = {
+        "scale_work": scale.work,
+        "sample": f"{sample.warmup}:{sample.measure}:{sample.skip}",
+        "detail_fraction": round(sample.detail_fraction, 4),
+        "points": {},
+    }
+    for app_name, point in points:
+        profile = get_app(app_name)
+        image = build_image(profile, point, config, scale)
+        kernel = build_kernel(profile, config, scale)
+        factory = None
+        regs = 0
+        if point.uses_assist_warps:
+            factory, regs = _make_caba_factory(
+                point, config, CabaParams(), plane=image.plane
+            )
+
+        def one_run(sample_cfg):
+            sim = Simulator(
+                config, kernel, point, image,
+                caba_factory=factory,
+                assist_regs_per_thread=regs,
+                sample=sample_cfg,
+            )
+            start = time.perf_counter()
+            result = sim.run()
+            return time.perf_counter() - start, result
+
+        one_run(sample)  # warm the shared per-line compression caches
+        modes = (("exact", None), ("sampled", sample))
+        best = {name: float("inf") for name, _ in modes}
+        results = {}
+        for _ in range(repeats):
+            for name, cfg in modes:
+                elapsed, result = one_run(cfg)
+                best[name] = min(best[name], elapsed)
+                results[name] = result
+        exact, sampled = results["exact"], results["sampled"]
+        ipc_err = abs(sampled.ipc - exact.ipc) / exact.ipc
+        bw_err = abs(
+            sampled.bandwidth_utilization() - exact.bandwidth_utilization()
+        ) / max(exact.bandwidth_utilization(), 1e-12)
+        out["points"][f"{app_name}-{point.name}"] = {
+            "exact_cycles": exact.cycles,
+            "sampled_cycles": sampled.cycles,
+            "exact_seconds": round(best["exact"], 4),
+            "sampled_seconds": round(best["sampled"], 4),
+            "speedup": round(best["exact"] / best["sampled"], 3),
+            "ipc_err": round(ipc_err, 5),
+            "bw_err": round(bw_err, 5),
+        }
+    out["speedup_geomean"] = round(
+        geomean(e["speedup"] for e in out["points"].values()), 3
+    )
+    return out
+
+
+def bench_trace_overhead(repeats: int) -> dict:
+    """Traced re-runs of the ``sim`` points, as a ratio over untraced.
+
+    The untraced side is re-measured here, interleaved with the traced
+    runs, rather than reusing the ``sim`` section's numbers: the
+    overhead gate is a same-machine-state ratio, and minutes can pass
+    between sections — wall-clock drift would otherwise masquerade as
+    tracing cost (the same reasoning behind ``bench_cycle_loop``'s
+    interleaving). Each timed run gets a parked garbage collector
+    (collect, then disable): traced runs allocate far more, and in a
+    long-lived bench process the collector's gen-2 pauses — whose cost
+    tracks process history, not this run — land disproportionately on
+    the traced side and can double the apparent overhead."""
     points = [("PVC", designs.caba("bdi")), ("MM", designs.base())]
     out = {}
-    for app, point in points:
-        best = float("inf")
-        for _ in range(repeats):
+
+    def timed(**kwargs) -> float:
+        gc.collect()
+        gc.disable()
+        try:
             start = time.perf_counter()
-            run_app(app, point, use_cache=False, trace=True)
-            best = min(best, time.perf_counter() - start)
-        key = f"{app}-{point.name}"
-        untraced = sim_record[key]["seconds"]
-        out[key] = {
-            "traced_seconds": round(best, 4),
-            "untraced_seconds": untraced,
-            "overhead": round(best / untraced, 3),
+            run_app(**kwargs)
+            return time.perf_counter() - start
+        finally:
+            gc.enable()
+
+    for app, point in points:
+        untraced = traced = float("inf")
+        ratios = []
+        # The ratio sits near its budget, so it gets a deeper best-of
+        # than the wall-clock sections regardless of --repeats. The
+        # gated statistic is the BEST (minimum) of per-pair ratios —
+        # the script's best-of-N convention applied to a ratio. Each
+        # pair runs back to back so a machine-speed epoch mostly hits
+        # both sides, and the cleanest pair approximates the noiseless
+        # machine; best-traced/best-untraced across different epochs
+        # was observed reporting 1.05x-1.4x for the same build on a
+        # shared host. A real batching regression floors every pair,
+        # so the minimum still catches it.
+        for _ in range(max(repeats, 5)):
+            u = timed(app=app, design=point, use_cache=False)
+            t = timed(app=app, design=point, use_cache=False, trace=True)
+            untraced = min(untraced, u)
+            traced = min(traced, t)
+            ratios.append(t / u)
+        out[f"{app}-{point.name}"] = {
+            "traced_seconds": round(traced, 4),
+            "untraced_seconds": round(untraced, 4),
+            "overhead": round(min(ratios), 3),
         }
     return out
 
@@ -289,6 +408,29 @@ def check_runner(record: dict, baseline: dict) -> list[str]:
                 f"SoA per-run speedup geomean {gm:.2f}x is below the "
                 f"2.0x acceptance floor"
             )
+    trace = record.get("trace_overhead", {})
+    for key, entry in sorted(trace.items()):
+        if entry["overhead"] > 1.20:
+            failures.append(
+                f"{key} tracing overhead {entry['overhead']:.2f}x "
+                f"exceeds the 1.20x budget (batched ledger flushes "
+                f"should keep attribution cheap)"
+            )
+    samp = record.get("cycle_loop_sampled", {})
+    if samp:
+        gm = samp.get("speedup_geomean", 0.0)
+        if gm < 3.0:
+            failures.append(
+                f"sampled-mode speedup geomean {gm:.2f}x is below the "
+                f"3.0x acceptance floor"
+            )
+        for key, entry in sorted(samp.get("points", {}).items()):
+            for metric in ("ipc_err", "bw_err"):
+                if entry[metric] > 0.02:
+                    failures.append(
+                        f"{key} sampled {metric} {entry[metric]:.2%} "
+                        f"exceeds the 2% error bound"
+                    )
     return failures
 
 
@@ -430,7 +572,8 @@ def main() -> int:
     parser.add_argument("--out", default="BENCH_runner.json")
     parser.add_argument("--comp-out", default="BENCH_compression.json")
     parser.add_argument("--section",
-                        choices=("all", "runner", "cycle_loop", "compression"),
+                        choices=("all", "runner", "cycle_loop",
+                                 "cycle_loop_sampled", "compression"),
                         default="all")
     parser.add_argument("--update-baseline", action="store_true",
                         help="rewrite the compression baseline record")
@@ -442,7 +585,8 @@ def main() -> int:
     args = parser.parse_args()
 
     status = 0
-    if args.section in ("all", "runner", "cycle_loop"):
+    if args.section in ("all", "runner", "cycle_loop",
+                        "cycle_loop_sampled"):
         clear_caches()
         merged = {}
         if os.path.exists(args.out):
@@ -451,8 +595,8 @@ def main() -> int:
         # Grab the previously checked-in numbers before overwriting the
         # label — they are the reference for the regression gates.
         baseline = merged.get(args.label, {})
-        if args.section == "cycle_loop":
-            # Refresh only the cycle_loop section in place.
+        if args.section in ("cycle_loop", "cycle_loop_sampled"):
+            # Refresh only the requested section in place.
             record = dict(baseline)
             record["python"] = platform.python_version()
         else:
@@ -460,12 +604,19 @@ def main() -> int:
             record = {
                 "python": platform.python_version(),
                 "sim": sim,
-                "trace_overhead": bench_trace_overhead(sim, args.repeats),
+                "trace_overhead": bench_trace_overhead(args.repeats),
                 "bdi": bench_bdi(args.bdi_lines, args.repeats),
                 "subroutines": bench_subroutines(args.repeats),
                 "engine_dispatch": bench_engine_dispatch(args.repeats),
             }
-        record["cycle_loop"] = bench_cycle_loop(args.repeats, args.cycle_work)
+        if args.section != "cycle_loop_sampled":
+            record["cycle_loop"] = bench_cycle_loop(
+                args.repeats, args.cycle_work
+            )
+        if args.section != "cycle_loop":
+            record["cycle_loop_sampled"] = bench_cycle_loop_sampled(
+                args.repeats
+            )
         merged[args.label] = record
 
         before = merged.get("before", {}).get("sim", {})

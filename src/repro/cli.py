@@ -88,6 +88,11 @@ def _build_parser() -> argparse.ArgumentParser:
                        default="bdi")
     run_p.add_argument("--config", choices=sorted(CONFIGS), default="small")
     run_p.add_argument("--bandwidth-scale", type=float, default=1.0)
+    run_p.add_argument("--sample", nargs="?", const="1", default=None,
+                       metavar="W:M:S",
+                       help="interval-sampled simulation: bare flag for "
+                            "the default period, or WARMUP:MEASURE:SKIP "
+                            "cycles (exact simulation is the default)")
 
     trace_p = sub.add_parser(
         "trace",
@@ -158,6 +163,9 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="skip the four-path differential pass")
     check_p.add_argument("--skip-invariants", action="store_true",
                          help="skip the simulation replay invariants")
+    check_p.add_argument("--skip-sampling", action="store_true",
+                         help="skip the sampled-vs-exact differential "
+                              "(the slowest pass: nine complete runs)")
     check_p.add_argument("--skip-soa", action="store_true",
                          help="skip the SoA-vs-reference simulator "
                               "differential")
@@ -206,9 +214,27 @@ def _cmd_run(args) -> int:
     if args.bandwidth_scale != 1.0:
         config = config.with_bandwidth_scale(args.bandwidth_scale)
     design = _resolve_design(args.design, args.algorithm)
-    run = run_app(args.app, design, config)
+    from repro.gpu.sampling import SampleConfig
+
+    sample = None
+    if args.sample is not None:
+        try:
+            sample = SampleConfig.parse(args.sample)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        run = run_app(args.app, design, config, sample=sample)
+    else:
+        # No flag: run_app honours REPRO_SAMPLE itself, but resolve the
+        # env here too so ambient-sampled output carries the annotation.
+        sample = SampleConfig.from_env()
+        run = run_app(args.app, design, config)
     print(f"app                : {run.app}")
     print(f"design             : {run.design}")
+    if sample is not None:
+        print(f"sampling           : {sample.warmup}:{sample.measure}:"
+              f"{sample.skip} ({sample.detail_fraction:.0%} detail, "
+              f"extrapolated cycles are approximate)")
     print(f"cycles             : {run.cycles}")
     print(f"IPC                : {run.ipc:.4f}")
     print(f"DRAM bus busy      : {run.bandwidth_utilization:.1%}")
@@ -356,9 +382,13 @@ def _cmd_check(args) -> int:
     apps = args.apps
     differential_apps = None
     differential_lines = None
+    sampling = not args.skip_sampling
     if args.quick:
         lines = lines if lines is not None else 32
         apps = apps if apps is not None else ["PVC"]
+        # The sampling differential is nine complete runs; it is the
+        # opposite of quick.
+        sampling = False
     elif args.full:
         lines = lines if lines is not None else 10_000
         if apps is None:
@@ -379,6 +409,7 @@ def _cmd_check(args) -> int:
         differential=not args.skip_differential,
         invariants=not args.skip_invariants,
         soa=not args.skip_soa,
+        sampling=sampling,
         differential_apps=differential_apps,
         differential_lines=differential_lines,
     )

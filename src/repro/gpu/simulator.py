@@ -21,6 +21,7 @@ from repro.design import DesignPoint
 from repro.gpu.config import GPUConfig
 from repro.gpu.kernel import Kernel
 from repro.gpu.occupancy import Occupancy, compute_occupancy
+from repro.gpu.sampling import SampleConfig, SamplingController
 from repro.gpu.sm import SM
 from repro.gpu.soa import SoAState, soa_enabled
 from repro.gpu.stats import SimStats
@@ -69,6 +70,7 @@ class Simulator:
         assist_regs_per_thread: int = 0,
         obs: object | None = None,
         fast_forward: bool = True,
+        sample: SampleConfig | None = None,
     ) -> None:
         """
         Args:
@@ -86,6 +88,12 @@ class Simulator:
                 jumping uniform-stall gaps (testing/audit only; results
                 are identical for designs without a CABA controller,
                 whose utilization monitor samples executed cycles).
+            sample: Interval-sampling knobs (repro.gpu.sampling), or
+                None (the default) for exact, byte-identical
+                simulation. The simulator never reads the environment
+                itself — callers (the harness RunSpec) resolve
+                REPRO_SAMPLE, so directly constructed simulators stay
+                exact unless explicitly opted in.
         """
         if design.uses_assist_warps and caba_factory is None:
             raise ValueError(f"design {design.name} needs a CABA controller")
@@ -128,6 +136,8 @@ class Simulator:
                     sm.caba.obs = obs
 
         self._ff_enabled = fast_forward
+        self._sample = sample
+        self._has_caba = caba_factory is not None
 
         # Vectorized warp-state mirror (REPRO_SOA, default on with
         # numpy). Must exist before the initial blocks are dispatched:
@@ -199,35 +209,17 @@ class Simulator:
         return self._blocks_retired >= self.kernel.n_blocks
 
     def run(self) -> SimulationResult:
-        cycles = self._event_cycles
-        buckets = self._event_buckets
-        heappop = heapq.heappop
-        sms = self.sms
-        if self._soa is not None:
-            ticks = [sm.tick_soa for sm in sms]
+        if self._sample is not None:
+            truncated = SamplingController(self, self._sample).run()
         else:
-            ticks = [sm.tick for sm in sms]
-        ff = self._ff_enabled
-        truncated = False
-        while not self.done:
-            cycle = self._cycle
-            if cycle >= self.config.max_cycles:
-                truncated = True
-                break
-            # Deliver events due this cycle. Callbacks can only schedule
-            # for cycle+1 or later, so the bucket cannot grow mid-drain.
-            while cycles and cycles[0] <= cycle:
-                for fn in buckets.pop(heappop(cycles)):
-                    fn()
-            issued = 0
-            for tick in ticks:
-                issued += tick(cycle)
-            self._cycle = cycle + 1
-            if issued == 0 and ff:
-                self._fast_forward()
+            truncated = self._run_detailed(self.config.max_cycles)
         if self.done:
             self._drain()
-        stats = SimStats(cycles=self._cycle, sms=[sm.stats for sm in sms])
+        for sm in self.sms:
+            sm.flush_ledger()
+        stats = SimStats(
+            cycles=self._cycle, sms=[sm.stats for sm in self.sms]
+        )
         if self.obs is not None:
             self.obs.finalize(stats, self.memory, self.sms)
         return SimulationResult(
@@ -240,8 +232,62 @@ class Simulator:
             obs=self.obs,
         )
 
-    def _fast_forward(self) -> None:
-        """Jump to the next time anything can happen.
+    def _run_detailed(self, limit: int) -> bool:
+        """Drive cycle-detailed simulation until the kernel completes or
+        the clock reaches ``limit``; True when stopped at the limit with
+        work remaining. Exact mode is one call with
+        ``limit = max_cycles``; the sampling controller calls this once
+        per detailed interval, so the per-cycle body is identical in
+        both modes."""
+        cycles = self._event_cycles
+        buckets = self._event_buckets
+        heappop = heapq.heappop
+        sms = self.sms
+        if self._soa is not None:
+            ticks = [sm.tick_soa for sm in sms]
+        else:
+            ticks = [sm.tick for sm in sms]
+        ff = self._ff_enabled
+        while not self.done:
+            cycle = self._cycle
+            if cycle >= limit:
+                return True
+            # Deliver events due this cycle. Callbacks can only schedule
+            # for cycle+1 or later, so the bucket cannot grow mid-drain.
+            while cycles and cycles[0] <= cycle:
+                for fn in buckets.pop(heappop(cycles)):
+                    fn()
+            issued = 0
+            for tick in ticks:
+                issued += tick(cycle)
+            self._cycle = cycle + 1
+            if issued == 0 and ff:
+                self._fast_forward(limit)
+        return False
+
+    def _deliver_until(self, target: int) -> int:
+        """Deliver every queued event due by ``target``, advancing the
+        clock with them but ticking no SM — the sampling controller's
+        skip primitive (fills complete, MSHRs release, blocks drain, so
+        memory state stays warm across the window). Stops early when
+        the kernel completes; returns elapsed cycles."""
+        start = self._cycle
+        cycles = self._event_cycles
+        buckets = self._event_buckets
+        heappop = heapq.heappop
+        while cycles and cycles[0] <= target and not self.done:
+            when = heappop(cycles)
+            if when > self._cycle:
+                self._cycle = when
+            for fn in buckets.pop(when):
+                fn()
+        if not self.done and self._cycle < target:
+            self._cycle = target
+        return self._cycle - start
+
+    def _fast_forward(self, limit: int) -> None:
+        """Jump to the next time anything can happen (capped at
+        ``limit``, the detailed window's end).
 
         ``self._cycle`` has already advanced past the tick that issued
         nothing, so the just-simulated cycle is ``self._cycle - 1`` —
@@ -254,15 +300,26 @@ class Simulator:
         """
         wake = float(self._event_cycles[0]) if self._event_cycles else _INF
         cycle = self._cycle
-        for sm in self.sms:
-            hint = sm.next_wake(cycle - 1)
-            if hint < wake:
-                wake = hint
-                if wake <= cycle:
-                    return
+        soa = self._soa
+        if soa is not None and not self._has_caba:
+            # Without a CABA controller every SM's next_wake is exactly
+            # its last tick's wake hint, mirrored into the SoA wake
+            # list at the end of tick_soa — one batched min replaces
+            # the per-SM next_wake calls.
+            if wake > cycle:
+                hint = min(soa.wake)
+                if hint < wake:
+                    wake = hint
+        else:
+            for sm in self.sms:
+                hint = sm.next_wake(cycle - 1)
+                if hint < wake:
+                    wake = hint
+                    if wake <= cycle:
+                        return
         if wake == _INF or wake <= cycle:
             return
-        target = min(int(wake), self.config.max_cycles)
+        target = min(int(wake), limit)
         skipped = target - cycle
         if skipped <= 0:
             return

@@ -124,6 +124,13 @@ class SM:
         self._last_cats: list[tuple[int, int]] = [(_CAT_IDLE, NO_WARP)] * n
         #: Warp charged for the most recent ACTIVE slot (traced path).
         self._attr_warp = NO_WARP
+        # Pending ledger charge per scheduler: consecutive identical
+        # (category, warp) charges coalesce into one ledger call
+        # (stall runs dominate traced runs), flushed on change and by
+        # flush_ledger() at run end / sampling snapshots.
+        self._pend_cat: list[int] = [_CAT_IDLE] * n
+        self._pend_wid: list[int] = [NO_WARP] * n
+        self._pend_n: list[int] = [0] * n
 
         #: Vectorized-core state (repro.gpu.soa); None = reference path.
         self._soa = None
@@ -252,6 +259,9 @@ class SM:
         slots = self.stats.slots
         last = self._last_slots
         ledger = self._ledger
+        pend_n = self._pend_n
+        pend_cat = self._pend_cat
+        pend_wid = self._pend_wid
         n_sched = self.config.schedulers_per_sm
         soa = self._soa
         seq = soa.seq
@@ -292,8 +302,20 @@ class SM:
                     self._wake_hint = hint
                 cat = m[1]
                 if ledger is not None:
-                    self._last_cats[s] = (cat, m[2])
-                    ledger.charge(self.sm_id, s, cat, m[2])
+                    wid = m[2]
+                    self._last_cats[s] = (cat, wid)
+                    # Inlined _charge_slot fast path: stall runs repeat
+                    # the same (category, warp) for thousands of
+                    # consecutive cycles, and the call overhead itself
+                    # is most of the traced-run cost at this site.
+                    if (
+                        pend_n[s]
+                        and pend_cat[s] == cat
+                        and pend_wid[s] == wid
+                    ):
+                        pend_n[s] += 1
+                    else:
+                        self._charge_slot(s, cat, wid, 1)
                 slot = _CAT_SLOT[cat]
                 slots[slot] += 1
                 last[s] = slot
@@ -349,6 +371,7 @@ class SM:
                 memos[s] = None
         if caba is not None:
             caba.observe(issued, n_sched)
+        soa.wake[self.sm_id] = self._wake_hint
         return issued
 
     def _issue_slot_soa(self, s: int, cycle: int, screen: list[int]) -> int:
@@ -552,11 +575,45 @@ class SM:
         classification (no state changed during the gap)."""
         for s, slot in enumerate(self._last_slots):
             self.stats.slots[slot] += skipped
-        ledger = self._ledger
-        if ledger is not None:
-            sm_id = self.sm_id
+        if self._ledger is not None:
             for s, (cat, wid) in enumerate(self._last_cats):
-                ledger.charge(sm_id, s, cat, wid, skipped)
+                self._charge_slot(s, cat, wid, skipped)
+
+    def _charge_slot(self, s: int, cat: int, wid: int, n: int) -> None:
+        """Queue ``n`` ledger slots for scheduler ``s``, coalescing
+        consecutive identical (category, warp) charges into one ledger
+        call. Never called with the ledger detached."""
+        if (
+            self._pend_n[s]
+            and self._pend_cat[s] == cat
+            and self._pend_wid[s] == wid
+        ):
+            self._pend_n[s] += n
+            return
+        pn = self._pend_n[s]
+        if pn:
+            self._ledger.charge(
+                self.sm_id, s, self._pend_cat[s], self._pend_wid[s], pn
+            )
+        self._pend_cat[s] = cat
+        self._pend_wid[s] = wid
+        self._pend_n[s] = n
+
+    def flush_ledger(self) -> None:
+        """Push queued ledger charges through — called at run end and
+        around sampling snapshots so ledger reads observe a complete
+        account. Safe (and free) with tracing off."""
+        ledger = self._ledger
+        if ledger is None:
+            return
+        pend = self._pend_n
+        for s in range(self.config.schedulers_per_sm):
+            pn = pend[s]
+            if pn:
+                ledger.charge(
+                    self.sm_id, s, self._pend_cat[s], self._pend_wid[s], pn
+                )
+                pend[s] = 0
 
     def next_wake(self, cycle: int) -> float:
         """Earliest cycle at which this SM might make progress without an
@@ -662,7 +719,17 @@ class SM:
             # property of the SM, not of one warp.
             wid = NO_WARP
         self._last_cats[s] = (cat, wid)
-        ledger.charge(self.sm_id, s, cat, wid)
+        # Inlined _charge_slot fast path (see tick_soa): consecutive
+        # identical charges dominate, and this runs once per scheduler
+        # per traced cycle.
+        if (
+            self._pend_n[s]
+            and self._pend_cat[s] == cat
+            and self._pend_wid[s] == wid
+        ):
+            self._pend_n[s] += 1
+        else:
+            self._charge_slot(s, cat, wid, 1)
         return cat
 
     def _refine_dep(self, s: int) -> tuple[int, int]:

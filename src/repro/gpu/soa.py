@@ -89,6 +89,14 @@ class SoAState:
         #: validates), so a warp's pending mask fits uint64 exactly.
         self.pending = np.zeros(n_slots, dtype=np.uint64)
         self.pc = np.zeros(n_slots, dtype=np.int64)
+        #: Per-SM wake hint, written at the end of every tick_soa —
+        #: exactly what ``SM.next_wake`` returns for a SM without a
+        #: CABA controller, so the simulator's fast-forward can take
+        #: one batched min instead of calling into every SM. A plain
+        #: list, deliberately: at n_sms elements the builtin ``min``
+        #: beats ``ndarray.min``'s per-call overhead, and the per-tick
+        #: store is hot.
+        self.wake = [float("inf")] * n_sms
         #: 1 when the warp is finished, at a barrier, or assist-gated;
         #: the scheduler skips such a warp without attempting issue.
         self.inactive = np.zeros(n_slots, dtype=np.int8)

@@ -62,6 +62,10 @@ class SmStats:
     blocks_finished: int = 0
     register_reads: int = 0
     register_writes: int = 0
+    #: Issue slots charged by interval-sampling extrapolation rather
+    #: than detailed execution (subset of ``slots``; zero on exact
+    #: runs). See :mod:`repro.gpu.sampling`.
+    extrapolated_slots: int = 0
 
     @property
     def instructions(self) -> int:
@@ -102,6 +106,12 @@ class SimStats:
         if self.cycles == 0:
             return 0.0
         return self.parent_instructions / self.cycles
+
+    @property
+    def extrapolated_slots(self) -> int:
+        """Slots accounted by interval-sampling extrapolation (0 on
+        exact runs)."""
+        return self._sum("extrapolated_slots")
 
     def slot_totals(self) -> dict[Slot, int]:
         totals = {slot: 0 for slot in Slot}

@@ -22,6 +22,7 @@ from repro.design import DesignPoint
 from repro.gpu.config import GPUConfig
 from repro.gpu.kernel import Kernel
 from repro.gpu.occupancy import compute_occupancy
+from repro.gpu.sampling import SampleConfig
 from repro.gpu.stats import SLOT_LABELS, Slot
 from repro.harness.parallel import run_specs
 from repro.harness.runner import RunResult, RunSpec, geomean
@@ -44,6 +45,20 @@ class FigureResult:
     rows: list[dict] = field(default_factory=list)
     summary: dict = field(default_factory=dict)
     notes: str = ""
+    #: Non-empty when the sweep ran under ambient ``REPRO_SAMPLE`` —
+    #: interval-sampled timing is approximate (≤2 % on certified
+    #: points; see repro.gpu.sampling), and reports must say so rather
+    #: than pass extrapolated numbers off as exact.
+    sampled: str = ""
+
+    def __post_init__(self) -> None:
+        sample = SampleConfig.from_env()
+        if sample is not None:
+            self.sampled = (
+                f"interval-sampled {sample.warmup}:{sample.measure}:"
+                f"{sample.skip} ({sample.detail_fraction:.0%} detail) — "
+                "timing values are extrapolated, not exact"
+            )
 
 
 def _default_config(config: GPUConfig | None) -> GPUConfig:

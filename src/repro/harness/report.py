@@ -7,6 +7,7 @@ and series the paper reports, alongside the timing data.
 
 from __future__ import annotations
 
+import math
 from typing import Iterable
 
 from repro.harness.figures import FigureResult
@@ -44,6 +45,8 @@ def render_table(result: FigureResult, max_rows: int | None = None) -> str:
             lines.append(f"  {key} = {_fmt(value)}")
     if result.notes:
         lines.append(f"paper: {result.notes}")
+    if result.sampled:
+        lines.append(f"sampling: {result.sampled}")
     return "\n".join(lines)
 
 
@@ -73,7 +76,10 @@ def render_bench_report(data: dict, title: str) -> str:
     leaf becomes a row with one column per record, in file order, plus a
     derived trend column: wall-clock rows (``*seconds``) get the
     first-to-last speedup, so the before/after trajectory reads directly
-    as "how much faster did this path get".
+    as "how much faster did this path get". Sections with more than one
+    wall-clock row additionally get a ``<section> (geomean)`` summary
+    row — the per-section trajectory at a glance, robust to one point
+    moving against the trend.
     """
     labels = [
         key for key, value in data.items()
@@ -95,6 +101,7 @@ def render_bench_report(data: dict, title: str) -> str:
 
     header = ["metric", *labels, "trend"]
     body = []
+    section_trends: dict[str, list[float]] = {}
     for metric in metrics:
         row = [metric]
         values = []
@@ -105,9 +112,19 @@ def render_bench_report(data: dict, title: str) -> str:
                 values.append(value)
         trend = ""
         if metric.endswith("seconds") and len(values) >= 2 and values[-1]:
-            trend = f"{values[0] / values[-1]:.2f}x"
+            ratio = values[0] / values[-1]
+            trend = f"{ratio:.2f}x"
+            section = metric.split(".", 1)[0]
+            section_trends.setdefault(section, []).append(ratio)
         row.append(trend)
         body.append(row)
+    for section, ratios in section_trends.items():
+        if len(ratios) < 2:
+            continue
+        gm = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+        body.append(
+            [f"{section} (geomean)", *[""] * len(labels), f"{gm:.2f}x"]
+        )
 
     widths = [
         max(len(header[i]), *(len(row[i]) for row in body))

@@ -38,6 +38,7 @@ from repro.core.subroutines import SubroutineLibrary
 from repro.design import DesignPoint
 from repro.energy.model import EnergyBreakdown, EnergyModel
 from repro.gpu.config import GPUConfig
+from repro.gpu.sampling import SampleConfig
 from repro.gpu.simulator import SimulationResult, Simulator
 from repro.gpu.stats import Slot
 from repro.harness import cache as run_cache_store
@@ -64,11 +65,20 @@ class RunSpec:
     config: GPUConfig
     scale: TraceScale = field(default_factory=TraceScale)
     params: CabaParams = field(default_factory=CabaParams)
+    #: Interval-sampling knobs (None = exact simulation). The default
+    #: follows REPRO_SAMPLE at spec-construction time, so env-driven
+    #: sweeps sample consistently while pickled specs carry the choice
+    #: to pool workers verbatim.
+    sample: SampleConfig | None = field(
+        default_factory=SampleConfig.from_env
+    )
 
     def canonical(self) -> str:
-        """Stable serialization used for content addressing."""
+        """Stable serialization used for content addressing. Includes
+        the sampling config, so exact and sampled runs of the same
+        point never collide in the persistent cache."""
         return repr((self.app, self.design, self.config,
-                     self.scale, self.params))
+                     self.scale, self.params, self.sample))
 
 
 @dataclass
@@ -355,6 +365,7 @@ def _simulate(
         caba_factory=caba_factory,
         assist_regs_per_thread=assist_regs,
         obs=obs,
+        sample=spec.sample,
     )
     sim_result = simulator.run()
     energy = EnergyModel().evaluate(sim_result, config, effective_design)
@@ -482,6 +493,11 @@ def run_spec(
     return result if keep_raw else slim
 
 
+#: Sentinel for run_app's ``sample`` default: follow REPRO_SAMPLE (via
+#: RunSpec's default factory) rather than forcing a mode.
+_SAMPLE_FROM_ENV = object()
+
+
 def run_app(
     app: str | AppProfile,
     design: DesignPoint,
@@ -492,6 +508,7 @@ def run_app(
     keep_raw: bool = False,
     trace: bool | None = None,
     chrome: bool = False,
+    sample: SampleConfig | None | object = _SAMPLE_FROM_ENV,
 ) -> RunResult:
     """Simulate one application under one design point.
 
@@ -511,14 +528,22 @@ def run_app(
             ``RunResult.obs``; ``None`` (default) follows ``REPRO_TRACE``.
         chrome: Also collect a Chrome trace_event timeline (implies
             ``trace``).
+        sample: Interval-sampling knobs: a
+            :class:`~repro.gpu.sampling.SampleConfig` to sample, ``None``
+            to force exact simulation, or unset to follow
+            ``REPRO_SAMPLE``.
     """
     profile = _resolve_app(app)
+    spec_kwargs = {}
+    if sample is not _SAMPLE_FROM_ENV:
+        spec_kwargs["sample"] = sample
     spec = RunSpec(
         app=profile.name,
         design=design,
         config=config if config is not None else GPUConfig.small(),
         scale=scale,
         params=caba_params if caba_params is not None else CabaParams(),
+        **spec_kwargs,
     )
     try:
         registered = get_app(profile.name) == profile

@@ -42,6 +42,12 @@ from repro.gpu.stats import Slot
 NO_WARP = -1
 #: Synthetic warp id charged for issued assist-warp instructions.
 ASSIST_WARP = -2
+#: Synthetic warp id charged for extrapolated (sampled-skip) slots —
+#: see :mod:`repro.gpu.sampling`. Keeping them on their own warp id
+#: means the measured per-warp attribution is never diluted by
+#: extrapolation, while the per-SM completeness and slot-reconciliation
+#: invariants still close over sampled runs.
+EXTRAP_WARP = -3
 
 
 class StallCat(enum.IntEnum):
@@ -109,6 +115,9 @@ class StallLedger:
         self.warp_counts: list[dict[int, list[int]]] = [
             {} for _ in range(n_sms)
         ]
+        #: Per-SM count of slots charged by extrapolation (sampled
+        #: skips) rather than detailed execution; zero on exact runs.
+        self.extrapolated: list[int] = [0] * n_sms
         #: Optional chrome-trace collector fed per charge (see
         #: :mod:`repro.obs.chrome`).
         self.chrome = None
@@ -126,6 +135,14 @@ class StallLedger:
         chrome = self.chrome
         if chrome is not None:
             chrome.note_slot(sm_id, sched, cat, n)
+
+    def charge_extrapolated(self, sm_id: int, sched: int, cat: int,
+                            n: int) -> None:
+        """Attribute ``n`` extrapolated (sampled-skip) slots: charged to
+        the synthetic :data:`EXTRAP_WARP` and tallied separately so
+        sampled runs stay auditable."""
+        self.extrapolated[sm_id] += n
+        self.charge(sm_id, sched, cat, EXTRAP_WARP, n)
 
     # ------------------------------------------------------------------
     # Views
@@ -163,4 +180,5 @@ class StallLedger:
                 cat.name.lower(): count
                 for cat, count in self.totals().items()
             },
+            "extrapolated": list(self.extrapolated),
         }

@@ -13,7 +13,11 @@ surface:
   cache budgets),
 * :mod:`repro.verify.soa` — byte-identical agreement of the vectorized
   (``REPRO_SOA``) and pure-Python simulator cores on replayed runs
-  (skipped gracefully without numpy).
+  (skipped gracefully without numpy),
+* :mod:`repro.verify.sampling` — bounded-error agreement (≤2 % on IPC /
+  bandwidth / compression ratio) of interval-sampled runs against exact
+  runs on the calibrated matrix, plus bit-exact parent-instruction
+  totals and sampled-run determinism.
 
 :func:`run_checks` orchestrates the passes into one
 :class:`~repro.verify.report.CheckReport`; the CLI's exit code is
@@ -31,6 +35,7 @@ from repro.verify.generators import GENERATOR_NAMES, make_generator
 from repro.verify.invariants import check_invariants
 from repro.verify.invariants import DEFAULT_APPS as INVARIANT_APPS
 from repro.verify.report import CheckReport, CheckResult
+from repro.verify.sampling import sampling_differential
 from repro.verify.soa import soa_differential
 
 __all__ = [
@@ -43,6 +48,7 @@ __all__ = [
     "fuzz_roundtrip",
     "make_generator",
     "run_checks",
+    "sampling_differential",
     "soa_differential",
 ]
 
@@ -56,6 +62,7 @@ def run_checks(
     differential: bool = True,
     invariants: bool = True,
     soa: bool = True,
+    sampling: bool = True,
     differential_apps: Sequence[str] | None = None,
     differential_lines: int | None = None,
 ) -> CheckReport:
@@ -69,7 +76,10 @@ def run_checks(
         apps: App image set for the differential and invariant passes
             (defaults per pass: Fig-11 spanning set / golden trio).
         algorithms: Algorithm subset (default: all five).
-        fuzz / differential / invariants / soa: Enable individual passes.
+        fuzz / differential / invariants / soa / sampling: Enable
+            individual passes. The sampling differential ignores
+            ``apps``/``algorithms``: its certification matrix is pinned
+            (see :mod:`repro.verify.sampling`).
         differential_apps: Override ``apps`` for the differential pass
             only (``repro check --all`` widens it to every app without
             also replaying a simulation per app).
@@ -102,4 +112,6 @@ def run_checks(
             apps=tuple(apps) if apps else SOA_APPS,
             algorithm=algorithm_set[0],
         ))
+    if sampling:
+        report.extend(sampling_differential())
     return report

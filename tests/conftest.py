@@ -3,7 +3,13 @@
 Points the persistent run cache at a session-scoped temporary directory
 so tests never read from or write to the user's real cache (and never
 see entries from earlier sessions), keeping every caching assertion
-hermetic.
+hermetic. An ambient ``REPRO_SAMPLE`` is likewise stripped per test:
+golden values, conservation checks and cross-mode diffs assert
+*exact-mode* behaviour, and must not silently flip to approximate
+sampled runs because the knob was exported in the developer's (or a CI
+lane's) shell. Tests that exercise sampling opt in explicitly — via
+``run_app(..., sample=...)`` or by setting the variable inside the
+test body.
 """
 
 import os
@@ -18,3 +24,8 @@ def _isolated_run_cache(tmp_path_factory):
     os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("run-cache"))
     clear_caches()  # drop any handle built against the old directory
     yield
+
+
+@pytest.fixture(autouse=True)
+def _exact_mode_by_default(monkeypatch):
+    monkeypatch.delenv("REPRO_SAMPLE", raising=False)

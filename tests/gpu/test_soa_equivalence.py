@@ -117,6 +117,55 @@ def test_modes_agree_head_to_head(app, algorithm):
 
 
 # ----------------------------------------------------------------------
+# Stale-screen fallback
+# ----------------------------------------------------------------------
+@pytest.mark.skipif(not has_numpy, reason="SoA mode needs numpy")
+def test_stale_seq_counter_falls_back_to_reference_scan(monkeypatch):
+    """A screen invalidated between compute and use must push the SM
+    onto the reference scan with byte-identical results.
+
+    The per-scheduler seq counters are the SoA core's only correctness
+    valve: any mutation of screen-visible state invalidates the batch
+    result and the scheduler re-scans in Python. Force the stale path
+    directly — bump half the schedulers' counters after every screen is
+    computed — and pin that the run is indistinguishable from a clean
+    SoA run (and hence from the reference mode)."""
+    scale = TraceScale(work=0.25, waves=0.25)
+    design = _design_for("bdi")
+
+    def run_once():
+        clear_caches()
+        return run_app("PVC", design, GPUConfig.small(), scale=scale,
+                       use_cache=False, keep_raw=True).raw
+
+    with soa_mode("1"):
+        clean = _fingerprint(run_once())
+
+    real_screen = soa_mod.SoAState.screen
+    fallbacks = [0]
+
+    def stale_screen(self, gid, cycle):
+        real_screen(self, gid, cycle)  # compute + snapshot this cycle
+        if gid % 2 == 0:
+            # Mutation-after-compute: exactly what an event callback
+            # flipping a scoreboard bit between the batch pass and this
+            # scheduler's turn would do.
+            self.seq[gid] += 1
+        codes = real_screen(self, gid, cycle)
+        if codes is None:
+            fallbacks[0] += 1
+        return codes
+
+    monkeypatch.setattr(soa_mod.SoAState, "screen", stale_screen)
+    with soa_mode("1"):
+        stale = _fingerprint(run_once())
+    monkeypatch.undo()
+
+    assert fallbacks[0] > 0, "stale path never exercised"
+    assert stale == clean
+
+
+# ----------------------------------------------------------------------
 # Fuzzed kernels in both modes
 # ----------------------------------------------------------------------
 @pytest.mark.skipif(not has_numpy, reason="SoA mode needs numpy")

@@ -85,6 +85,18 @@ class TestReport:
         text = render_table(result, max_rows=5)
         assert "more rows" in text
 
+    def test_sampled_sweep_is_annotated(self, monkeypatch):
+        from repro.harness.figures import FigureResult
+
+        exact = FigureResult(figure="x", title="Demo", columns=["app"])
+        assert exact.sampled == ""
+        monkeypatch.setenv("REPRO_SAMPLE", "1")
+        sampled = FigureResult(figure="x", title="Demo", columns=["app"])
+        assert "500:1000:13500" in sampled.sampled
+        text = render_table(sampled)
+        assert "extrapolated" in text
+        assert "sampling:" in text
+
 
 class TestBarChart:
     def test_render_bars(self):

@@ -1,0 +1,42 @@
+"""Tests for the sampled-vs-exact differential (`repro.verify.sampling`).
+
+One certified matrix point is run for real — at the default machine and
+trace scale, exactly as `repro check` would — to keep the 2 % contract
+honest in the test suite, not just in CI's bench lane. The failure
+path is exercised at reduced scale with a zero tolerance, which any
+extrapolated run violates (sampled cycle counts are approximate).
+"""
+
+from repro import design as designs
+from repro.gpu.sampling import SampleConfig
+from repro.verify.sampling import DEFAULT_POINTS, sampling_differential
+from repro.workloads.tracegen import TraceScale
+
+
+def test_certified_point_passes_at_defaults():
+    results = sampling_differential(points=(("MM", designs.base),))
+    assert len(results) == 1
+    result = results[0]
+    assert result.name == "sampling.differential.MM.Base"
+    assert result.passed, result.detail
+    # Three bounded metrics + parent-instruction identity + determinism.
+    assert result.checked == 5
+
+
+def test_zero_tolerance_reports_metric_deltas():
+    results = sampling_differential(
+        points=(("MM", designs.base),),
+        scale=TraceScale(work=0.25, waves=0.25),
+        sample=SampleConfig(warmup=50, measure=100, skip=800),
+        tolerance=0.0,
+    )
+    result = results[0]
+    assert not result.passed
+    assert "off by" in result.detail
+
+
+def test_default_matrix_shape():
+    # The certification matrix is pinned: both paper-central apps, the
+    # CABA point only where the bound is calibrated (no MM-CABA-BDI).
+    labels = {(app, factory().name) for app, factory in DEFAULT_POINTS}
+    assert labels == {("PVC", "Base"), ("PVC", "CABA-BDI"), ("MM", "Base")}
