@@ -37,6 +37,7 @@ from repro.gpu.config import GPUConfig
 from repro.harness import figures, parallel
 from repro.harness.extensions import (
     ablation_study,
+    capacity_study,
     md_cache_sweep,
     memoization_study,
     prefetch_study,
@@ -68,6 +69,7 @@ def experiment_matrix(config: GPUConfig):
         ("mdcache", lambda: figures.md_cache_study(config)),
         ("memo", lambda: memoization_study(config)),
         ("prefetch", lambda: prefetch_study(config)),
+        ("capacity", lambda: capacity_study(config)),
         ("ablations", lambda: ablation_study(config)),
         ("scheduler", lambda: scheduler_study(config)),
         ("mdsweep", lambda: md_cache_sweep(config)),

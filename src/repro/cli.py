@@ -49,6 +49,12 @@ DESIGNS = {
     "ideal": designs.ideal,
 }
 
+def _extensions():
+    from repro.harness import extensions
+
+    return extensions
+
+
 FIGURES = {
     "fig1": lambda cfg: figures.fig1_cycle_breakdown(cfg),
     "fig2": lambda cfg: figures.fig2_unallocated_registers(),
@@ -62,7 +68,12 @@ FIGURES = {
     "fig13": lambda cfg: figures.fig13_cache_compression(cfg),
     "tab1": lambda cfg: figures.tab1_system_config(),
     "mdcache": lambda cfg: figures.md_cache_study(cfg),
+    "memo": lambda cfg: _extensions().memoization_study(cfg),
+    "prefetch": lambda cfg: _extensions().prefetch_study(cfg),
+    "capacity": lambda cfg: _extensions().capacity_study(cfg),
 }
+
+SCENARIOS = ("prefetch", "memoization")
 
 
 def _jobs_arg(text: str) -> int:
@@ -81,8 +92,12 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list-apps", help="show the workload pool")
 
-    run_p = sub.add_parser("run", help="simulate one application")
-    run_p.add_argument("app", help="application name (see list-apps)")
+    run_p = sub.add_parser(
+        "run", help="simulate one application or assist-warp scenario"
+    )
+    run_p.add_argument("app", nargs="?", default=None,
+                       help="application name (see list-apps); omit when "
+                            "--scenario is given")
     run_p.add_argument("--design", choices=sorted(DESIGNS), default="caba")
     run_p.add_argument("--algorithm", choices=sorted(ALGORITHMS),
                        default="bdi")
@@ -93,6 +108,26 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="interval-sampled simulation: bare flag for "
                             "the default period, or WARMUP:MEASURE:SKIP "
                             "cycles (exact simulation is the default)")
+    run_p.add_argument("--capacity", type=float, default=None,
+                       metavar="FRACTION",
+                       help="capacity mode: device-memory budget as a "
+                            "fraction of the app's uncompressed footprint "
+                            "(spilled lines pay host-link transfers)")
+    run_p.add_argument("--capacity-bytes", type=int, default=None,
+                       metavar="BYTES",
+                       help="capacity mode with an absolute device budget "
+                            "(overrides --capacity)")
+    run_p.add_argument("--scenario", choices=SCENARIOS, default=None,
+                       help="run an assist-warp scenario kernel instead "
+                            "of an application")
+    run_p.add_argument("--no-assist", action="store_true",
+                       help="scenario baseline: same kernel, no assist-"
+                            "warp controller")
+    run_p.add_argument("--distance", type=int, default=2,
+                       help="prefetch scenario: stride-prefetch distance")
+    run_p.add_argument("--redundancy", type=float, default=0.5,
+                       help="memoization scenario: fraction of redundant "
+                            "iterations")
 
     trace_p = sub.add_parser(
         "trace",
@@ -169,6 +204,9 @@ def _build_parser() -> argparse.ArgumentParser:
     check_p.add_argument("--skip-soa", action="store_true",
                          help="skip the SoA-vs-reference simulator "
                               "differential")
+    check_p.add_argument("--skip-scenarios", action="store_true",
+                         help="skip the capacity-mode and prefetch/"
+                              "memoization scenario invariants")
     check_p.add_argument("--quick", action="store_true",
                          help="CI-sized pass: few lines, one app")
     check_p.add_argument("--all", action="store_true", dest="full",
@@ -208,27 +246,7 @@ def _resolve_design(name: str, algorithm: str):
     return DESIGNS[name](algorithm)
 
 
-def _cmd_run(args) -> int:
-    get_app(args.app)  # early, friendly error for bad names
-    config = CONFIGS[args.config]()
-    if args.bandwidth_scale != 1.0:
-        config = config.with_bandwidth_scale(args.bandwidth_scale)
-    design = _resolve_design(args.design, args.algorithm)
-    from repro.gpu.sampling import SampleConfig
-
-    sample = None
-    if args.sample is not None:
-        try:
-            sample = SampleConfig.parse(args.sample)
-        except ValueError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 2
-        run = run_app(args.app, design, config, sample=sample)
-    else:
-        # No flag: run_app honours REPRO_SAMPLE itself, but resolve the
-        # env here too so ambient-sampled output carries the annotation.
-        sample = SampleConfig.from_env()
-        run = run_app(args.app, design, config)
+def _print_run(run, sample) -> None:
     print(f"app                : {run.app}")
     print(f"design             : {run.design}")
     if sample is not None:
@@ -243,8 +261,98 @@ def _cmd_run(args) -> int:
     print(f"assist instructions: {run.assist_instructions}")
     if run.md_cache_hit_rate is not None:
         print(f"MD-cache hit rate  : {run.md_cache_hit_rate:.1%}")
+    cap = run.capacity
+    if cap is not None:
+        print(f"capacity budget    : {cap['device_bytes']} B "
+              f"(footprint {cap['footprint_bytes']} B, stored "
+              f"{cap['stored_bytes']} B)")
+        print(f"spilled lines      : {cap['spill_lines']}/"
+              f"{cap['total_lines']} ({cap['spill_fraction']:.1%})")
+        print(f"effective capacity : "
+              f"{cap['effective_capacity_ratio']:.2f}x")
+        print(f"host link          : {cap['host_reads']} reads / "
+              f"{cap['host_writes']} writes, {cap['host_bursts']} bursts, "
+              f"{cap['host_bus_utilization']:.1%} busy")
+    scen = run.scenario
+    if scen is not None:
+        mode = "assist" if scen["assist"] else "baseline (no assist)"
+        print(f"scenario           : {scen['kind']} [{mode}]")
+        for key in ("trained_streams", "prefetches_issued", "dropped_mshr",
+                    "dropped_throttle", "lookups", "hits", "lut_hit_rate",
+                    "skipped_instrs", "l1_load_hits"):
+            if key in scen:
+                value = scen[key]
+                text = f"{value:.3f}" if isinstance(value, float) else value
+                print(f"  {key:17s}: {text}")
     if run.truncated:
         print("warning: run hit the max-cycle guard (results truncated)")
+
+
+def _cmd_run(args) -> int:
+    from repro.gpu.sampling import SampleConfig
+
+    config = CONFIGS[args.config]()
+    if args.bandwidth_scale != 1.0:
+        config = config.with_bandwidth_scale(args.bandwidth_scale)
+
+    sample_given = args.sample is not None
+    if sample_given:
+        try:
+            sample = SampleConfig.parse(args.sample)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    else:
+        # No flag: the runner honours REPRO_SAMPLE itself, but resolve
+        # the env here too so ambient-sampled output carries the
+        # annotation.
+        sample = SampleConfig.from_env()
+
+    if args.scenario is not None:
+        from repro.harness.runner import run_spec, scenario_spec
+
+        spec = scenario_spec(
+            args.scenario, config, sample=sample,
+            assist=not args.no_assist,
+            distance=args.distance,
+            redundancy=args.redundancy,
+        )
+        _print_run(run_spec(spec), sample)
+        return 0
+
+    if args.app is None:
+        print("error: an application name is required unless --scenario "
+              "is given", file=sys.stderr)
+        return 2
+    get_app(args.app)  # early, friendly error for bad names
+    design = _resolve_design(args.design, args.algorithm)
+
+    capacity = None
+    if args.capacity_bytes is not None or args.capacity is not None:
+        from repro.memory.hostlink import CapacityConfig
+
+        if args.capacity_bytes is not None:
+            budget = args.capacity_bytes
+        else:
+            from repro.workloads.tracegen import TraceScale, footprint_extents
+
+            extents = footprint_extents(
+                get_app(args.app), config, TraceScale()
+            )
+            footprint = sum(length for _, length in extents)
+            footprint *= config.line_size
+            budget = max(config.line_size, int(footprint * args.capacity))
+        try:
+            capacity = CapacityConfig(device_bytes=budget)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    kwargs = {"capacity": capacity}
+    if sample_given:
+        kwargs["sample"] = sample
+    run = run_app(args.app, design, config, **kwargs)
+    _print_run(run, sample)
     return 0
 
 
@@ -410,6 +518,7 @@ def _cmd_check(args) -> int:
         invariants=not args.skip_invariants,
         soa=not args.skip_soa,
         sampling=sampling,
+        scenarios=not args.skip_scenarios,
         differential_apps=differential_apps,
         differential_lines=differential_lines,
     )

@@ -71,6 +71,7 @@ class Simulator:
         obs: object | None = None,
         fast_forward: bool = True,
         sample: SampleConfig | None = None,
+        capacity: object | None = None,
     ) -> None:
         """
         Args:
@@ -94,13 +95,16 @@ class Simulator:
                 itself — callers (the harness RunSpec) resolve
                 REPRO_SAMPLE, so directly constructed simulators stay
                 exact unless explicitly opted in.
+            capacity: A ``repro.memory.hostlink.CapacityModel`` enabling
+                capacity mode (spilled lines travel a host link), or
+                None (the default) for the bandwidth-mode hierarchy.
         """
         if design.uses_assist_warps and caba_factory is None:
             raise ValueError(f"design {design.name} needs a CABA controller")
         self.config = config
         self.kernel = kernel
         self.design = design
-        self.memory = MemorySystem(config, design, image)
+        self.memory = MemorySystem(config, design, image, capacity=capacity)
         self.occupancy = compute_occupancy(
             config, kernel, assist_regs_per_thread=assist_regs_per_thread
         )
@@ -328,7 +332,10 @@ class Simulator:
         self._cycle = target
 
     def _drain(self) -> None:
-        """Flush CABA store buffers so end-of-kernel traffic is counted."""
+        """Flush CABA store buffers so end-of-kernel traffic is counted,
+        and release MSHRs of assist-issued fills that would complete in
+        the dead time after the last warp retires."""
         for sm in self.sms:
             if sm.caba is not None:
                 sm.caba.flush(self._cycle)
+        self.memory.drain_inflight()

@@ -1,6 +1,8 @@
-"""Section 7 extension studies (memoization, prefetching) and ablations.
+"""Section 7 extension studies (memoization, prefetching), capacity
+mode, and ablations.
 
-These exercise the CABA framework beyond the compression case study:
+These exercise the CABA framework beyond the bandwidth-compression case
+study:
 
 * :func:`memoization_study` — a redundancy-parameterized compute-bound
   kernel where assist warps hash inputs, probe a shared-memory LUT and
@@ -8,9 +10,17 @@ These exercise the CABA framework beyond the compression case study:
 * :func:`prefetch_study` — a latency-bound streaming kernel where
   assist warps run a per-warp stride prefetcher in idle memory-pipeline
   slots (Section 7.2).
+* :func:`capacity_study` — compression for memory *capacity* (after
+  Buddy Compression): stored footprints placed against a device budget,
+  spilled lines charged host-link transfers.
 * :func:`ablation_study` — design-choice sweeps for the compression
   mechanism: throttling, store-buffer capacity, the low-priority AWB
   partition, and decompression priority.
+
+The scenario studies run through the same RunSpec engine as every
+figure (parallel dispatch, persistent caching, sampling, tracing); the
+kernel builders themselves live in :mod:`repro.harness.scenarios` and
+are re-exported here for compatibility.
 """
 
 from __future__ import annotations
@@ -18,115 +28,26 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro import design as designs
-from repro.core.memoization import MemoizationController, MemoParams
 from repro.core.params import CabaParams
-from repro.core.prefetch import PrefetchController, PrefetchParams
-from repro.design import DesignPoint
 from repro.gpu.config import GPUConfig
-from repro.gpu.isa import Instr, MemSpace, OpKind, Program, reg_mask
-from repro.gpu.kernel import Kernel
-from repro.gpu.simulator import SimulationResult, Simulator
-from repro.harness.figures import FigureResult
+from repro.harness.figures import ALGORITHM_ORDER, FigureResult
 from repro.harness.parallel import run_specs
-from repro.harness.runner import RunSpec
-from repro.memory.image import MemoryImage
-
-_M64 = (1 << 64) - 1
-
-
-def _mix(x: int) -> int:
-    x = (x + 0x9E3779B97F4A7C15) & _M64
-    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _M64
-    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _M64
-    return x ^ (x >> 31)
-
-
-def _plain_image(line_size: int) -> MemoryImage:
-    return MemoryImage(lambda line: bytes(line_size), None, line_size)
-
-
-def _run(
-    config: GPUConfig,
-    kernel: Kernel,
-    controller_factory=None,
-    design: DesignPoint | None = None,
-) -> SimulationResult:
-    design = design if design is not None else designs.base()
-    simulator = Simulator(
-        config,
-        kernel,
-        design,
-        _plain_image(config.line_size),
-        caba_factory=controller_factory,
-    )
-    return simulator.run()
+from repro.harness.runner import RunSpec, geomean, scenario_spec
+from repro.harness.scenarios import (  # noqa: F401  (re-exported API)
+    ScenarioSpec,
+    build_latency_bound_kernel,
+    build_memo_kernel,
+    make_signature_fn,
+    run_kernel,
+)
+from repro.harness.scenarios import run_kernel as _run  # noqa: F401
+from repro.memory.hostlink import CapacityConfig
+from repro.workloads.tracegen import TraceScale
 
 
 # ----------------------------------------------------------------------
 # Memoization (Section 7.1)
 # ----------------------------------------------------------------------
-def build_memo_kernel(
-    config: GPUConfig,
-    region_len: int = 8,
-    iterations: int = 40,
-    warps_per_block: int = 6,
-) -> Kernel:
-    """A compute-bound kernel with one memoizable region per iteration.
-
-    The region holds the heavy ALU/SFU work; a MEMO marker in front of
-    it lets the memoization controller skip it on LUT hits.
-    """
-    region: list[Instr] = []
-    for i in range(region_len):
-        if i % 4 == 3:
-            region.append(Instr(OpKind.SFU, latency=20,
-                                dst_mask=reg_mask(2), src_mask=reg_mask(1),
-                                tag="region_sfu"))
-        elif i % 4 == 2:
-            region.append(Instr(OpKind.ALU, latency=12,
-                                dst_mask=reg_mask(2), src_mask=reg_mask(1),
-                                tag="region_heavy"))
-        else:
-            region.append(Instr(OpKind.ALU, latency=4,
-                                dst_mask=reg_mask(1), src_mask=reg_mask(1),
-                                tag="region_alu"))
-    body = (
-        Instr(OpKind.LOAD, dst_mask=reg_mask(3), src_mask=reg_mask(0),
-              space=MemSpace.SHARED, tag="load_inputs"),
-        Instr(OpKind.MEMO, latency=1, src_mask=reg_mask(3),
-              meta=region_len, tag="memo_marker"),
-        *region,
-        Instr(OpKind.ALU, latency=4, dst_mask=reg_mask(1),
-              src_mask=reg_mask(2), tag="consume"),
-    )
-    program = Program(body=body, iterations=iterations, name="memo_kernel")
-    n_blocks = 2 * config.n_sms * min(
-        config.max_blocks_per_sm,
-        config.max_threads_per_sm // (warps_per_block * config.warp_size),
-    )
-    return Kernel(
-        name="memo_kernel",
-        program=program,
-        n_blocks=max(1, n_blocks),
-        warps_per_block=warps_per_block,
-        regs_per_thread=18,
-    )
-
-
-def make_signature_fn(redundancy: float, seed: int = 97):
-    """Input-signature model: a ``redundancy`` fraction of iterations
-    sees inputs shared by every warp (so one computation serves all);
-    the rest are unique per warp."""
-    threshold = int(redundancy * 1000)
-
-    def signature(warp: int, iteration: int) -> int:
-        if _mix(iteration * 2654435761 + seed) % 1000 < threshold:
-            return _mix(iteration + seed)
-        return _mix((warp << 24) ^ iteration ^ seed)
-
-    return signature
-
-
 def memoization_study(
     config: GPUConfig | None = None,
     redundancies: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 0.95),
@@ -134,34 +55,28 @@ def memoization_study(
 ) -> FigureResult:
     """Cycle-time speedup from memoization vs. input redundancy."""
     config = config if config is not None else GPUConfig.small()
-    kernel = build_memo_kernel(config, region_len=region_len)
-    base = _run(config, kernel)
+    specs = [
+        scenario_spec("memoization", config, assist=False,
+                      region_len=region_len)
+    ]
+    specs += [
+        scenario_spec("memoization", config, redundancy=redundancy,
+                      region_len=region_len)
+        for redundancy in redundancies
+    ]
+    runs = run_specs(specs, label="memo")
+    base, assisted = runs[0], runs[1:]
     result = FigureResult(
         figure="memo",
         title="Memoization with assist warps (Section 7.1)",
         columns=["redundancy", "speedup", "lut_hit_rate", "skipped_instrs"],
     )
-    for redundancy in redundancies:
-        controllers = []
-
-        def factory(sm, redundancy=redundancy):
-            controller = MemoizationController(
-                sm, make_signature_fn(redundancy), MemoParams()
-            )
-            controllers.append(controller)
-            return controller
-
-        run = _run(config, kernel, controller_factory=factory)
-        lookups = sum(c.stats.lookups for c in controllers)
-        hits = sum(c.stats.hits for c in controllers)
-        skipped = sum(
-            c.stats.regions_skipped_instructions for c in controllers
-        )
+    for redundancy, run in zip(redundancies, assisted):
         result.rows.append({
             "redundancy": redundancy,
             "speedup": base.cycles / run.cycles if run.cycles else 0.0,
-            "lut_hit_rate": hits / lookups if lookups else 0.0,
-            "skipped_instrs": skipped,
+            "lut_hit_rate": run.scenario["lut_hit_rate"],
+            "skipped_instrs": run.scenario["skipped_instrs"],
         })
     result.summary["max_speedup"] = max(r["speedup"] for r in result.rows)
     result.notes = (
@@ -174,40 +89,6 @@ def memoization_study(
 # ----------------------------------------------------------------------
 # Prefetching (Section 7.2)
 # ----------------------------------------------------------------------
-def build_latency_bound_kernel(
-    config: GPUConfig,
-    iterations: int = 60,
-    warps_per_block: int = 2,
-    n_blocks: int | None = None,
-) -> Kernel:
-    """A streaming kernel with too few warps to hide memory latency —
-    the regime where prefetching pays."""
-    if n_blocks is None:
-        n_blocks = config.n_sms
-    total_warps = n_blocks * warps_per_block
-    base_line = 4_194_301
-
-    def addr(w: int, i: int, base=base_line, tw=total_warps):
-        return (base + i * tw + w,)
-
-    body = (
-        Instr(OpKind.LOAD, dst_mask=reg_mask(3), src_mask=reg_mask(0),
-              space=MemSpace.GLOBAL, addr_fn=addr, tag="stream_load"),
-        Instr(OpKind.ALU, latency=4, dst_mask=reg_mask(1),
-              src_mask=reg_mask(3), tag="consume"),
-        Instr(OpKind.ALU, latency=4, dst_mask=reg_mask(2),
-              src_mask=reg_mask(1), tag="alu2"),
-    )
-    program = Program(body=body, iterations=iterations, name="latency_stream")
-    return Kernel(
-        name="latency_stream",
-        program=program,
-        n_blocks=n_blocks,
-        warps_per_block=warps_per_block,
-        regs_per_thread=16,
-    )
-
-
 def prefetch_study(
     config: GPUConfig | None = None,
     distances: Sequence[int] = (1, 2, 4),
@@ -215,36 +96,128 @@ def prefetch_study(
     """Speedup from assist-warp stride prefetching on a latency-bound
     stream, sweeping the prefetch distance."""
     config = config if config is not None else GPUConfig.small()
-    kernel = build_latency_bound_kernel(config)
-    base = _run(config, kernel)
-    base_hits = base.memory.stats.l1_load_hits
+    specs = [scenario_spec("prefetch", config, assist=False)]
+    specs += [
+        scenario_spec("prefetch", config, distance=distance)
+        for distance in distances
+    ]
+    runs = run_specs(specs, label="prefetch")
+    base, assisted = runs[0], runs[1:]
+    base_hits = base.scenario["l1_load_hits"]
     result = FigureResult(
         figure="prefetch",
         title="Stride prefetching with assist warps (Section 7.2)",
         columns=["distance", "speedup", "prefetches", "l1_hit_gain"],
     )
-    for distance in distances:
-        controllers = []
-
-        def factory(sm, distance=distance):
-            controller = PrefetchController(
-                sm, PrefetchParams(distance=distance)
-            )
-            controllers.append(controller)
-            return controller
-
-        run = _run(config, kernel, controller_factory=factory)
-        issued = sum(c.stats.prefetches_issued for c in controllers)
+    for distance, run in zip(distances, assisted):
         result.rows.append({
             "distance": distance,
             "speedup": base.cycles / run.cycles if run.cycles else 0.0,
-            "prefetches": issued,
-            "l1_hit_gain": run.memory.stats.l1_load_hits - base_hits,
+            "prefetches": run.scenario["prefetches_issued"],
+            "l1_hit_gain": run.scenario["l1_load_hits"] - base_hits,
         })
     result.summary["max_speedup"] = max(r["speedup"] for r in result.rows)
     result.notes = (
         "Paper (qualitative): assist warps enable fine-grained stride "
         "prefetching with throttling in idle memory-pipeline slots."
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Capacity-mode compression (Buddy Compression regime)
+# ----------------------------------------------------------------------
+def capacity_study(
+    config: GPUConfig | None = None,
+    apps: Sequence[str] = ("PVC", "MM", "ATTN", "ST3D"),
+    algorithms: Sequence[str] | None = None,
+    budget_fraction: float = 0.5,
+    scale: TraceScale | None = None,
+) -> FigureResult:
+    """Effective capacity and spill traffic per algorithm under a
+    device-memory budget.
+
+    The budget is ``budget_fraction`` of each app's *uncompressed*
+    footprint, so every app is equally capacity-pressured: without
+    compression roughly half the lines spill to the host link, and each
+    algorithm is judged by how much of that spill its compression
+    avoids (plus the slowdown the residual host traffic costs).
+    """
+    from repro.workloads.tracegen import footprint_extents
+    from repro.workloads.apps import get_app
+
+    config = config if config is not None else GPUConfig.small()
+    algorithms = (
+        tuple(algorithms) if algorithms is not None else ALGORITHM_ORDER
+    )
+    scale = scale if scale is not None else TraceScale()
+
+    budgets = {}
+    for app in apps:
+        extents = footprint_extents(get_app(app), config, scale)
+        lines = sum(length for _, length in extents)
+        budgets[app] = max(
+            config.line_size,
+            int(lines * config.line_size * budget_fraction),
+        )
+
+    def cap(app):
+        return CapacityConfig(device_bytes=budgets[app])
+
+    specs = []
+    for app in apps:
+        specs.append(RunSpec(app, designs.base(), config, scale=scale,
+                             capacity=cap(app)))
+        for algorithm in algorithms:
+            specs.append(RunSpec(app, designs.caba(algorithm), config,
+                                 scale=scale, capacity=cap(app)))
+    runs = iter(run_specs(specs, label="capacity"))
+
+    result = FigureResult(
+        figure="capacity",
+        title=(
+            "Capacity-mode compression: effective capacity and spill "
+            "traffic (device budget = "
+            f"{budget_fraction:.0%} of footprint)"
+        ),
+        columns=["app", "algorithm", "effective_capacity", "spill_fraction",
+                 "spill_bursts", "host_bus_util", "speedup_vs_base"],
+    )
+    per_algo: dict[str, list[float]] = {a: [] for a in algorithms}
+    for app in apps:
+        base = next(runs)
+        base_row = {
+            "app": app,
+            "algorithm": "none",
+            "effective_capacity":
+                base.capacity["effective_capacity_ratio"],
+            "spill_fraction": base.capacity["spill_fraction"],
+            "spill_bursts": base.capacity["host_bursts"],
+            "host_bus_util": base.capacity["host_bus_utilization"],
+            "speedup_vs_base": 1.0,
+        }
+        result.rows.append(base_row)
+        for algorithm in algorithms:
+            run = next(runs)
+            speedup = run.ipc / base.ipc if base.ipc else 0.0
+            per_algo[algorithm].append(speedup)
+            result.rows.append({
+                "app": app,
+                "algorithm": algorithm,
+                "effective_capacity":
+                    run.capacity["effective_capacity_ratio"],
+                "spill_fraction": run.capacity["spill_fraction"],
+                "spill_bursts": run.capacity["host_bursts"],
+                "host_bus_util": run.capacity["host_bus_utilization"],
+                "speedup_vs_base": speedup,
+            })
+    for algorithm in algorithms:
+        result.summary[f"geomean_speedup_{algorithm}"] = geomean(
+            per_algo[algorithm]
+        )
+    result.notes = (
+        "Buddy Compression regime: compression extends effective device "
+        "capacity; lines past the budget pay host-link transfers."
     )
     return result
 

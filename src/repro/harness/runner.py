@@ -42,7 +42,13 @@ from repro.gpu.sampling import SampleConfig
 from repro.gpu.simulator import SimulationResult, Simulator
 from repro.gpu.stats import Slot
 from repro.harness import cache as run_cache_store
+from repro.harness.scenarios import (
+    ScenarioSpec,
+    build_scenario,
+    collect_scenario_stats,
+)
 from repro.memory import plane as plane_mod
+from repro.memory.hostlink import CapacityConfig, CapacityModel, plan_capacity
 from repro.memory.image import LineInfo, MemoryImage
 from repro.memory.plane import CompressionPlane
 from repro.obs import RunObservation, trace_enabled
@@ -72,13 +78,23 @@ class RunSpec:
     sample: SampleConfig | None = field(
         default_factory=SampleConfig.from_env
     )
+    #: Capacity-mode knobs (None = bandwidth mode, the default). When
+    #: set, the app's stored footprint is placed against the budget and
+    #: spilled lines travel the host link.
+    capacity: CapacityConfig | None = None
+    #: Assist-warp scenario (prefetch/memoization). When set, the run
+    #: executes the scenario's synthetic kernel instead of a registered
+    #: application; ``app`` carries the scenario kernel's name.
+    scenario: ScenarioSpec | None = None
 
     def canonical(self) -> str:
         """Stable serialization used for content addressing. Includes
         the sampling config, so exact and sampled runs of the same
-        point never collide in the persistent cache."""
+        point never collide in the persistent cache; likewise the
+        capacity and scenario fields."""
         return repr((self.app, self.design, self.config,
-                     self.scale, self.params, self.sample))
+                     self.scale, self.params, self.sample,
+                     self.capacity, self.scenario))
 
 
 @dataclass
@@ -105,6 +121,11 @@ class RunResult:
     lines_compressed: int = 0
     l1_stores: int = 0
     rmw_reads: int = 0
+    #: Capacity-mode outcome (placement + host-link traffic); None for
+    #: bandwidth-mode runs, so pre-existing stats stay byte-identical.
+    capacity: dict | None = None
+    #: Scenario outcome (controller stats); None for compression runs.
+    scenario: dict | None = None
     #: Observability payload (``RunObservation.export()``) for traced
     #: runs; persisted without its (large, optional) chrome section.
     obs: dict | None = field(repr=False, default=None)
@@ -354,6 +375,11 @@ def _simulate(
     caba_factory, assist_regs = _make_caba_factory(
         effective_design, config, spec.params, plane=image.plane
     )
+    capacity_model = None
+    if spec.capacity is not None:
+        capacity_model = _plan_capacity_model(
+            profile, effective_design, config, spec, image
+        )
     obs = (
         RunObservation.for_config(config, chrome=chrome) if trace else None
     )
@@ -366,6 +392,7 @@ def _simulate(
         assist_regs_per_thread=assist_regs,
         obs=obs,
         sample=spec.sample,
+        capacity=capacity_model,
     )
     sim_result = simulator.run()
     energy = EnergyModel().evaluate(sim_result, config, effective_design)
@@ -392,8 +419,155 @@ def _simulate(
         lines_compressed=stats.lines_compressed,
         l1_stores=stats.l1_stores,
         rmw_reads=stats.rmw_reads,
+        capacity=_capacity_payload(memory, sim_result.cycles),
         obs=obs.export() if obs is not None else None,
         raw=sim_result,
+    )
+
+
+def _plan_capacity_model(
+    profile: AppProfile,
+    design: DesignPoint,
+    config: GPUConfig,
+    spec: RunSpec,
+    image: MemoryImage,
+) -> CapacityModel:
+    """Place the app's stored footprint against the capacity budget.
+
+    The stored size per line is the plane-backed compressed size when
+    the design keeps DRAM compressed, the full line otherwise — the
+    same sizes the hierarchy charges, so placement and timing agree.
+    """
+    extents = footprint_extents(profile, config, spec.scale)
+    if design.compress_dram and image.compression_enabled:
+        stored_size_of = image.size_of
+    else:
+        def stored_size_of(line: int, _size=config.line_size) -> int:
+            return _size
+    plan = plan_capacity(
+        extents, config.line_size, stored_size_of, spec.capacity
+    )
+    return CapacityModel(config=spec.capacity, plan=plan)
+
+
+def _capacity_payload(memory, cycles: int) -> dict | None:
+    """The RunResult capacity section (None in bandwidth mode)."""
+    if memory.capacity is None:
+        return None
+    plan = memory.capacity.plan
+    host = memory.host
+    return {
+        "device_bytes": plan.device_bytes,
+        "footprint_bytes": plan.footprint_bytes,
+        "stored_bytes": plan.stored_bytes,
+        "total_lines": plan.total_lines,
+        "spill_lines": len(plan.spilled),
+        "spill_fraction": plan.spill_fraction,
+        "effective_capacity_ratio": plan.effective_capacity_ratio,
+        "host_reads": host.stats.reads,
+        "host_writes": host.stats.writes,
+        "host_bursts": host.stats.total_bursts,
+        "host_bus_utilization": (
+            host.bus.busy_time / cycles if cycles else 0.0
+        ),
+    }
+
+
+def _simulate_scenario(
+    spec: RunSpec, trace: bool = False, chrome: bool = False
+) -> RunResult:
+    """Execute one assist-warp scenario run (prefetch/memoization).
+
+    Scenario kernels are synthetic and carry no compressible data, so
+    the design point must be the plain baseline; the assist-warp
+    controller comes from the scenario itself, not from a compression
+    subroutine library. Everything else — sampling, tracing, caching —
+    follows the standard path.
+    """
+    design = spec.design
+    if design.compression_enabled or design.uses_assist_warps:
+        raise ValueError(
+            "scenario runs use the baseline design point; got "
+            f"{design.name!r}"
+        )
+    config = spec.config
+    kernel, factory, controllers = build_scenario(spec.scenario, config)
+    image = MemoryImage(
+        lambda line, _size=config.line_size: bytes(_size),
+        None,
+        line_size=config.line_size,
+        burst_bytes=config.burst_bytes,
+    )
+    obs = (
+        RunObservation.for_config(config, chrome=chrome) if trace else None
+    )
+    simulator = Simulator(
+        config,
+        kernel,
+        design,
+        image,
+        caba_factory=factory,
+        obs=obs,
+        sample=spec.sample,
+    )
+    sim_result = simulator.run()
+    energy = EnergyModel().evaluate(sim_result, config, design)
+
+    memory = sim_result.memory
+    stats = memory.stats
+    l2_accesses = stats.l2_accesses
+    return RunResult(
+        app=spec.app,
+        design=design.name,
+        cycles=sim_result.cycles,
+        ipc=sim_result.ipc,
+        instructions=sim_result.stats.instructions,
+        assist_instructions=sim_result.stats.assist_instructions,
+        bandwidth_utilization=sim_result.bandwidth_utilization(),
+        compression_ratio=1.0,
+        energy=energy,
+        slot_breakdown=sim_result.stats.slot_breakdown(),
+        md_cache_hit_rate=memory.md_cache_hit_rate(),
+        dram_bursts=memory.dram_bursts(),
+        l2_hit_rate=(stats.l2_hits / l2_accesses if l2_accesses else 0.0),
+        truncated=sim_result.truncated,
+        occupancy_blocks=sim_result.occupancy.blocks_per_sm,
+        lines_compressed=stats.lines_compressed,
+        l1_stores=stats.l1_stores,
+        rmw_reads=stats.rmw_reads,
+        scenario={
+            **collect_scenario_stats(spec.scenario, controllers),
+            "l1_load_hits": stats.l1_load_hits,
+        },
+        obs=obs.export() if obs is not None else None,
+        raw=sim_result,
+    )
+
+
+def scenario_spec(
+    kind: str,
+    config: GPUConfig | None = None,
+    sample: SampleConfig | None | object = None,
+    **knobs,
+) -> RunSpec:
+    """Convenience constructor for a scenario RunSpec.
+
+    ``knobs`` are ScenarioSpec fields (assist, distance, degree,
+    redundancy, region_len, iterations). ``sample`` defaults to exact
+    mode; build the RunSpec directly to follow ``REPRO_SAMPLE``.
+    """
+    scenario = ScenarioSpec(kind=kind, **knobs)
+    from repro.design import base as base_design
+
+    kernel_name = (
+        "memo_kernel" if kind == "memoization" else "latency_stream"
+    )
+    return RunSpec(
+        app=kernel_name,
+        design=base_design(),
+        config=config if config is not None else GPUConfig.small(),
+        sample=sample,
+        scenario=scenario,
     )
 
 
@@ -472,9 +646,12 @@ def run_spec(
             if hit is not None:
                 return hit
 
-    if profile is None:
-        profile = _resolve_app(spec.app)
-    result = _simulate(profile, spec, trace=trace, chrome=chrome)
+    if spec.scenario is not None:
+        result = _simulate_scenario(spec, trace=trace, chrome=chrome)
+    else:
+        if profile is None:
+            profile = _resolve_app(spec.app)
+        result = _simulate(profile, spec, trace=trace, chrome=chrome)
     slim = replace(result, raw=None)
     if use_cache:
         # The memo keeps raw state only for opt-in keep_raw runs; the
@@ -509,6 +686,7 @@ def run_app(
     trace: bool | None = None,
     chrome: bool = False,
     sample: SampleConfig | None | object = _SAMPLE_FROM_ENV,
+    capacity: CapacityConfig | None = None,
 ) -> RunResult:
     """Simulate one application under one design point.
 
@@ -532,6 +710,9 @@ def run_app(
             :class:`~repro.gpu.sampling.SampleConfig` to sample, ``None``
             to force exact simulation, or unset to follow
             ``REPRO_SAMPLE``.
+        capacity: Capacity-mode knobs
+            (:class:`~repro.memory.hostlink.CapacityConfig`), or ``None``
+            (default) for bandwidth mode.
     """
     profile = _resolve_app(app)
     spec_kwargs = {}
@@ -543,6 +724,7 @@ def run_app(
         config=config if config is not None else GPUConfig.small(),
         scale=scale,
         params=caba_params if caba_params is not None else CabaParams(),
+        capacity=capacity,
         **spec_kwargs,
     )
     try:

@@ -27,6 +27,7 @@ from repro.gpu.config import GPUConfig
 from repro.memory.cache import Cache
 from repro.memory.compressed_cache import CompressedCache
 from repro.memory.dram import MemoryController
+from repro.memory.hostlink import CapacityModel, HostLink
 from repro.memory.image import MemoryImage
 from repro.memory.interconnect import CONTROL_BYTES, Crossbar
 from repro.memory.metadata import MetadataCache
@@ -80,13 +81,19 @@ class TrafficStats:
     rmw_reads: int = 0  # partial writes into compressed lines (Sec. 4.2.2)
     lines_decompressed: int = 0  # compressed lines expanded somewhere
     lines_compressed: int = 0  # store lines written in compressed form
+    host_reads: int = 0  # capacity mode: spilled-line fetches over the host link
+    host_writes: int = 0  # capacity mode: spilled-line writebacks to host
 
 
 class MemorySystem:
     """Design-point-aware three-level memory hierarchy."""
 
     def __init__(
-        self, config: GPUConfig, design: DesignPoint, image: MemoryImage
+        self,
+        config: GPUConfig,
+        design: DesignPoint,
+        image: MemoryImage,
+        capacity: CapacityModel | None = None,
     ) -> None:
         if image.line_size != config.line_size:
             raise ValueError("image line size differs from config line size")
@@ -96,6 +103,18 @@ class MemorySystem:
         self.stats = TrafficStats()
         #: Observability layer (repro.obs.RunObservation); None = off.
         self.obs = None
+
+        # Capacity mode: lines the placement plan spilled to host memory
+        # bypass the GDDR5 controllers and travel the host link instead.
+        self.capacity = capacity
+        if capacity is not None:
+            self.host: HostLink | None = HostLink(
+                capacity.config, config.burst_cycles
+            )
+            self._spilled = capacity.plan.spilled
+        else:
+            self.host = None
+            self._spilled = frozenset()
 
         self._l1s = [self._make_l1(i) for i in range(config.n_sms)]
         self._inflight: list[dict[int, LineFill]] = [
@@ -314,11 +333,18 @@ class MemorySystem:
             self.stats.l2_hits += 1
             t_data = t_tag + cfg.l2_latency
         else:
-            t_dram = self.mcs[mc].access(
-                t_tag + cfg.l2_latency, self._local(line),
-                self._dram_bursts(line), is_write=False,
-            )
-            self.stats.dram_reads += 1
+            if line in self._spilled:
+                t_dram = self.host.transfer(
+                    t_tag + cfg.l2_latency, self._dram_bursts(line),
+                    is_write=False,
+                )
+                self.stats.host_reads += 1
+            else:
+                t_dram = self.mcs[mc].access(
+                    t_tag + cfg.l2_latency, self._local(line),
+                    self._dram_bursts(line), is_write=False,
+                )
+                self.stats.dram_reads += 1
             if design.decompress_at == "mc" and compressed and not design.ideal:
                 t_dram += self._hw_decompress
             t_data = t_dram
@@ -366,6 +392,12 @@ class MemorySystem:
         for victim, dirty in victims:
             if not dirty:
                 continue
+            if victim in self._spilled:
+                self.host.transfer(
+                    at, self._dram_bursts(victim), is_write=True
+                )
+                self.stats.host_writes += 1
+                continue
             self.mcs[mc].access(
                 at, self._local(victim), self._dram_bursts(victim), is_write=True
             )
@@ -377,6 +409,19 @@ class MemorySystem:
             self._mshr_used[sm_id] -= 1
             self.stats.mshr_releases += 1
             self.mshr_epoch[sm_id] += 1
+
+    def drain_inflight(self) -> None:
+        """Release every in-flight MSHR (end-of-kernel drain).
+
+        Demand fills always complete before their warp retires, so this
+        is a no-op on plain runs; prefetch-scenario runs can finish with
+        assist-issued fills still outstanding, whose completion events
+        fall in the dead time after the last warp — their MSHRs drain
+        here so allocation/release accounting closes on completed runs.
+        """
+        for sm_id, per_sm in enumerate(self._inflight):
+            for line in list(per_sm):
+                self.complete_fill(sm_id, line)
 
     # ------------------------------------------------------------------
     # Store path
@@ -444,10 +489,15 @@ class MemorySystem:
             ):
                 # Partial write into a compressed line: fetch + decompress
                 # before merging (the Section 4.2.2 worst case).
-                done = self.mcs[mc].access(
-                    t_tag, self._local(line), self._dram_bursts(line),
-                    is_write=False,
-                )
+                if line in self._spilled:
+                    done = self.host.transfer(
+                        t_tag, self._dram_bursts(line), is_write=False
+                    )
+                else:
+                    done = self.mcs[mc].access(
+                        t_tag, self._local(line), self._dram_bursts(line),
+                        is_write=False,
+                    )
                 self.stats.rmw_reads += 1
         # Hits may evict as well: a store that grows a compressed line in
         # place can push the set's LRU lines over the data budget.
@@ -473,11 +523,14 @@ class MemorySystem:
         return hits / accesses
 
     def dram_bursts(self) -> dict[str, int]:
-        return {
+        out = {
             "read": sum(mc.stats.read_bursts for mc in self.mcs),
             "write": sum(mc.stats.write_bursts for mc in self.mcs),
             "metadata": sum(mc.stats.metadata_bursts for mc in self.mcs),
         }
+        if self.host is not None:
+            out["host"] = self.host.stats.total_bursts
+        return out
 
     def l1_stats(self):
         return [l1.stats for l1 in self._l1s]

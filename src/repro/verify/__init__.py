@@ -17,7 +17,11 @@ surface:
 * :mod:`repro.verify.sampling` — bounded-error agreement (≤2 % on IPC /
   bandwidth / compression ratio) of interval-sampled runs against exact
   runs on the calibrated matrix, plus bit-exact parent-instruction
-  totals and sampled-run determinism.
+  totals and sampled-run determinism,
+* :func:`repro.verify.invariants.check_scenarios` — the same
+  conservation laws replayed on capacity-mode runs with real spill
+  traffic (host-link bursts = host-bus cycles) and on prefetch /
+  memoization scenario runs, exact and interval-sampled.
 
 :func:`run_checks` orchestrates the passes into one
 :class:`~repro.verify.report.CheckReport`; the CLI's exit code is
@@ -32,7 +36,7 @@ from repro.verify.differential import differential_check
 from repro.verify.differential import DEFAULT_APPS as DIFF_APPS
 from repro.verify.fuzz import ALL_ALGORITHMS, fuzz_roundtrip
 from repro.verify.generators import GENERATOR_NAMES, make_generator
-from repro.verify.invariants import check_invariants
+from repro.verify.invariants import check_invariants, check_scenarios
 from repro.verify.invariants import DEFAULT_APPS as INVARIANT_APPS
 from repro.verify.report import CheckReport, CheckResult
 from repro.verify.sampling import sampling_differential
@@ -44,6 +48,7 @@ __all__ = [
     "CheckResult",
     "GENERATOR_NAMES",
     "check_invariants",
+    "check_scenarios",
     "differential_check",
     "fuzz_roundtrip",
     "make_generator",
@@ -63,6 +68,7 @@ def run_checks(
     invariants: bool = True,
     soa: bool = True,
     sampling: bool = True,
+    scenarios: bool = True,
     differential_apps: Sequence[str] | None = None,
     differential_lines: int | None = None,
 ) -> CheckReport:
@@ -76,10 +82,12 @@ def run_checks(
         apps: App image set for the differential and invariant passes
             (defaults per pass: Fig-11 spanning set / golden trio).
         algorithms: Algorithm subset (default: all five).
-        fuzz / differential / invariants / soa / sampling: Enable
-            individual passes. The sampling differential ignores
-            ``apps``/``algorithms``: its certification matrix is pinned
-            (see :mod:`repro.verify.sampling`).
+        fuzz / differential / invariants / soa / sampling / scenarios:
+            Enable individual passes. The sampling differential and the
+            scenario pass ignore ``apps``/``algorithms``: the sampling
+            certification matrix is pinned (see
+            :mod:`repro.verify.sampling`) and the scenario pass replays
+            its own capacity/prefetch/memoization runs.
         differential_apps: Override ``apps`` for the differential pass
             only (``repro check --all`` widens it to every app without
             also replaying a simulation per app).
@@ -114,4 +122,6 @@ def run_checks(
         ))
     if sampling:
         report.extend(sampling_differential())
+    if scenarios:
+        report.extend(check_scenarios())
     return report

@@ -17,9 +17,19 @@ and asserts an accounting identity that must hold by construction:
 * **Compressed caches** — no set ever exceeds its byte budget or tag
   count, and incremental occupancy accounting matches a re-sum
   (:meth:`~repro.memory.compressed_cache.CompressedCache.audit`).
+* **Host link** (capacity mode only) — spill bursts charged to the
+  host-link stats equal the host-bus cycles reserved, so every spilled
+  access the hierarchy observed also paid for host bandwidth.
 
 These identities connect independently-maintained counters, so a bug in
 either side (or a code path that forgets to charge one) breaks them.
+
+:func:`check_scenarios` extends the same replay/check loop to the
+diversity scenarios: capacity-mode runs with a budget tight enough to
+force real spill traffic, and prefetch/memoization scenario runs (exact
+and interval-sampled) — proving the ledger still closes when assist
+warps come from a scenario controller rather than the compression
+subroutine library, and that extrapolated sampled slots stay accounted.
 """
 
 from __future__ import annotations
@@ -150,6 +160,29 @@ def _check_run(
         checked=len(compressed),
         detail="; ".join(problems[:3]),
     ))
+
+    # 6. Host-link burst conservation (capacity mode only): every spill
+    #    burst charged to the stats reserved host-bus cycles.
+    host = getattr(memory, "host", None)
+    if host is not None:
+        charged = host.stats.total_bursts * host.burst_cycles
+        failure = ""
+        if not math.isclose(charged, host.bus.busy_time,
+                            rel_tol=1e-9, abs_tol=1e-6):
+            failure = (
+                f"{host.stats.total_bursts} host bursts charge {charged} "
+                f"bus cycles but {host.bus.busy_time} reserved"
+            )
+        elif (host.stats.reads + host.stats.writes) == 0 \
+                and host.stats.total_bursts:
+            failure = (
+                f"{host.stats.total_bursts} host bursts but no host "
+                "accesses counted"
+            )
+        out.append(CheckResult(
+            name=f"invariant.hostlink.{label}", passed=not failure,
+            checked=host.stats.total_bursts, detail=failure,
+        ))
     return out
 
 
@@ -182,4 +215,97 @@ def check_invariants(
             results.extend(
                 _check_run(f"{app}.{design.name}", run, config)
             )
+    return results
+
+
+def check_scenarios(
+    config: GPUConfig | None = None,
+    scale: TraceScale | None = None,
+    budget_fraction: float = 0.25,
+) -> list[CheckResult]:
+    """Conservation checks on capacity-mode and scenario runs.
+
+    Replays, traced with ``keep_raw=True``:
+
+    * capacity-mode PVC under the baseline and under CABA-BDI, with a
+      device budget of ``budget_fraction`` of the footprint — tight
+      enough that lines really spill *even compressed* and the host
+      link carries traffic (a vacuity check asserts both), so the
+      host-link burst identity is exercised for real on both the plain
+      and the compressed-DRAM spill paths;
+    * the prefetch and memoization scenarios with assist warps on,
+      exact mode — the ledger/MSHR/flit/DRAM identities must close when
+      assist warps come from scenario controllers;
+    * both scenarios again under interval sampling — extrapolated slots
+      must stay attributed (charged to the extrapolation pseudo-warp),
+      keeping the slot identity exact on sampled runs.
+    """
+    from repro.gpu.sampling import SampleConfig
+    from repro.harness.runner import run_spec, scenario_spec
+    from repro.memory.hostlink import CapacityConfig
+    from repro.workloads import get_app
+    from repro.workloads.tracegen import footprint_extents
+
+    config = config or GPUConfig.small()
+    scale = scale or TraceScale(work=0.25, waves=0.25)
+    results: list[CheckResult] = []
+    clear_caches()
+
+    # -- Capacity mode: budget at a fraction of the footprint ----------
+    extents = footprint_extents(get_app("PVC"), config, scale)
+    total_lines = sum(lines for _, lines in extents)
+    budget = max(
+        config.line_size,
+        int(total_lines * config.line_size * budget_fraction),
+    )
+    for design in (designs.base(), designs.caba("bdi")):
+        run = run_app(
+            "PVC", design, config=config, scale=scale,
+            use_cache=False, keep_raw=True, trace=True,
+            capacity=CapacityConfig(device_bytes=budget),
+        )
+        label = f"capacity.PVC.{design.name}"
+        results.extend(_check_run(label, run, config))
+        cap = run.capacity or {}
+        vacuous = (
+            cap.get("spill_lines", 0) <= 0
+            or cap.get("host_bursts", 0) <= 0
+        )
+        results.append(CheckResult(
+            name=f"invariant.spill.{label}",
+            passed=not vacuous,
+            checked=cap.get("host_bursts", 0),
+            detail=(
+                f"budget {budget} B spilled {cap.get('spill_lines', 0)} "
+                f"lines, {cap.get('host_bursts', 0)} host bursts"
+                if vacuous else ""
+            ),
+        ))
+
+    # -- Prefetch/memoization scenarios: exact and sampled -------------
+    sample = SampleConfig(warmup=100, measure=300, skip=1200)
+    for kind in ("prefetch", "memoization"):
+        for mode, knob in (("exact", None), ("sampled", sample)):
+            spec = scenario_spec(kind, config, sample=knob)
+            run = run_spec(
+                spec, use_cache=False, keep_raw=True, trace=True,
+            )
+            label = f"scenario.{kind}.{mode}"
+            results.extend(_check_run(label, run, config))
+            stats = run.scenario or {}
+            active = (
+                stats.get("prefetches_issued", 0) > 0
+                if kind == "prefetch"
+                else stats.get("lookups", 0) > 0
+            )
+            results.append(CheckResult(
+                name=f"invariant.assist.{label}",
+                passed=active,
+                checked=stats.get(
+                    "prefetches_issued", stats.get("lookups", 0)
+                ),
+                detail="" if active else (
+                    f"assist controller idle in {kind} run: {stats}"
+                ),
+            ))
     return results

@@ -3,6 +3,7 @@
 from repro.workloads.apps import (
     APPLICATIONS,
     COMPRESSION_APPS,
+    DLHPC_APPS,
     FIGURE1_APPS,
     AppProfile,
     OpSpec,
@@ -15,6 +16,7 @@ __all__ = [
     "APPLICATIONS",
     "AppProfile",
     "COMPRESSION_APPS",
+    "DLHPC_APPS",
     "FIGURE1_APPS",
     "OpSpec",
     "PATTERNS",

@@ -362,6 +362,44 @@ _register(AppProfile(
 ))
 
 # ----------------------------------------------------------------------
+# DL / HPC scenario-diversity profiles (beyond the paper's pool). Their
+# value mixtures use the FP32 generators so FPC/BDI/C-Pack diverge the
+# way Buddy Compression reports for activations, weights and PDE fields.
+# ----------------------------------------------------------------------
+_register(AppProfile(
+    name="ATTN", suite="dl", category="memory", compressible=True,
+    data={"fp32_nearzero": 0.45, "fp32_weights": 0.3, "zeros": 0.1,
+          "float32": 0.1, "random": 0.05},
+    body=_ops(
+        # Q/K tiles streamed in with tile-level re-touch, staged through
+        # shared memory for the MAC-heavy inner product.
+        OpSpec("load", count=2, pattern="stream", phase=4),
+        OpSpec("shared_load", count=2),
+        OpSpec("alu", count=8),
+        OpSpec("heavy_alu", count=2),
+        # softmax: exp on the SFU, then the V rows from a hot set.
+        OpSpec("sfu", count=1),
+        OpSpec("load", count=1, pattern="reuse", region=5, footprint=0.5),
+        OpSpec("store", count=1, region=7, phase=4),
+    ),
+    iterations=24, warps_per_block=8, regs_per_thread=32,
+    smem_per_block=4096, seed=60,
+))
+_register(AppProfile(
+    name="ST3D", suite="hpc", category="memory", compressible=True,
+    data={"fp32_smooth": 0.65, "fp32_weights": 0.15, "zeros": 0.05,
+          "random": 0.15},
+    body=_ops(
+        # Neighbour planes of the 3-D grid: strided loads that re-touch
+        # the shared face lines, a short update, one streamed store.
+        OpSpec("load", count=3, pattern="stride", phase=2),
+        OpSpec("alu", count=6),
+        OpSpec("store", count=1, region=7, phase=2),
+    ),
+    iterations=26, warps_per_block=8, regs_per_thread=20, seed=61,
+))
+
+# ----------------------------------------------------------------------
 # Named subsets used by the harness
 # ----------------------------------------------------------------------
 #: Figure 1's 27 applications (order follows the figure: memory-bound
@@ -379,6 +417,10 @@ COMPRESSION_APPS: tuple[str, ...] = (
     "KM", "MM", "PVC", "PVR", "SS",
     "bfs", "bh", "mst", "sp", "sssp",
 )
+
+#: Scenario-diversity profiles beyond the paper's pool (not part of the
+#: Figure 1 / compression matrices, which stay pinned to the paper).
+DLHPC_APPS: tuple[str, ...] = ("ATTN", "ST3D")
 
 
 def get_app(name: str) -> AppProfile:

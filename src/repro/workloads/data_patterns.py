@@ -21,6 +21,19 @@ Patterns and the algorithms they favour:
 ``float32``     shared exponents, noisy mantissas — C-Pack mmxx, BDI B4D2
 ``random``      incompressible
 ==============  ==========================================================
+
+DL/HPC value generators (used by the ``dl``/``hpc`` suites, after
+Buddy Compression's observation that activations and HPC fields carry
+most of the exploitable redundancy in FP32 data):
+
+================  ========================================================
+``fp32_nearzero``  ReLU-style activations: mostly exact zeros plus sparse
+                   small-magnitude floats — FPC zero runs, C-Pack zzzz
+``fp32_weights``   quantized weight tensors: few distinct values per tile
+                   in a narrow exponent band — C-Pack dictionary hits
+``fp32_smooth``    smooth stencil fields: one exponent, slowly drifting
+                   mantissa across the line — BDI B4D1/B4D2
+================  ========================================================
 """
 
 from __future__ import annotations
@@ -121,6 +134,66 @@ def _float32(rng: _Rng, line_size: int) -> bytes:
     return bytes(out)
 
 
+def _fp32_nearzero(rng: _Rng, line_size: int) -> bytes:
+    """ReLU activations: ~60% exact zeros, the rest small positive floats.
+
+    Non-zero words share a narrow sub-1.0 exponent band (2^-9..2^-2) so
+    a line mixes long zero runs with clustered small magnitudes — the
+    value profile FPC's zero-run and C-Pack's zzzz patterns exploit.
+    """
+    out = bytearray()
+    for _ in range(line_size // 4):
+        if rng.below(100) < 60:
+            out += b"\x00\x00\x00\x00"
+        else:
+            exponent = 118 + rng.below(8)  # 2^-9 .. 2^-2
+            mantissa = rng.below(1 << 23)
+            out += ((exponent << 23) | mantissa).to_bytes(4, "little")
+    return bytes(out)
+
+
+def _fp32_weights(rng: _Rng, line_size: int) -> bytes:
+    """Quantized trained-weight tensors: a small per-line codebook.
+
+    Post-training quantization leaves each tile of weights drawn from a
+    handful of distinct FP32 values inside one low-magnitude exponent
+    band (|w| roughly 0.004..0.25, random signs, low mantissa bits
+    zeroed) — exactly the repeated-word profile C-Pack's dictionary
+    exploits.
+    """
+    band = 119 + rng.below(3)  # per-line exponent band, 2^-8 .. 2^-6
+    vocabulary = []
+    for _ in range(8):
+        sign = rng.below(2) << 31
+        exponent = band + rng.below(4)
+        mantissa = rng.below(1 << 23) & ~0xFFF
+        vocabulary.append(
+            (sign | (exponent << 23) | mantissa) & 0xFFFFFFFF
+        )
+    out = bytearray()
+    for _ in range(line_size // 4):
+        out += vocabulary[rng.below(8)].to_bytes(4, "little")
+    return bytes(out)
+
+
+def _fp32_smooth(rng: _Rng, line_size: int) -> bytes:
+    """Smooth stencil fields: one exponent, mantissa drifting slowly.
+
+    Adjacent grid points of a relaxed PDE field differ by tiny amounts:
+    every word keeps the line's exponent while the mantissa takes a
+    small signed step, so 4-byte words share their high bytes — BDI's
+    B4D1/B4D2 sweet spot.
+    """
+    exponent = (125 + rng.below(4)) << 23  # field magnitude 0.25 .. 4
+    mantissa = rng.below(1 << 23)
+    out = bytearray()
+    for _ in range(line_size // 4):
+        step = rng.below(1 << 9) - (1 << 8)
+        mantissa = (mantissa + step) & 0x3FFFFF  # keep clear of the exponent
+        out += ((exponent | mantissa) & 0xFFFFFFFF).to_bytes(4, "little")
+    return bytes(out)
+
+
 def _random(rng: _Rng, line_size: int) -> bytes:
     out = bytearray()
     for _ in range(line_size // 8):
@@ -137,6 +210,9 @@ PATTERNS: dict[str, Callable[[_Rng, int], bytes]] = {
     "dict_words": _dict_words,
     "text": _text,
     "float32": _float32,
+    "fp32_nearzero": _fp32_nearzero,
+    "fp32_weights": _fp32_weights,
+    "fp32_smooth": _fp32_smooth,
     "random": _random,
 }
 

@@ -10,6 +10,19 @@ intentional change that must regenerate the fixture:
 
 Floats are stored via ``repr`` so the comparison is exact, not
 tolerance-based.
+
+The matrix covers four run families, keyed as:
+
+* ``APP/ALGORITHM`` — the bandwidth-mode app x design matrix (the
+  original golden trio plus the DL/HPC profiles ATTN and ST3D),
+* ``capacity:APP/ALGORITHM`` — capacity-mode runs with a device budget
+  of 25 % of the footprint, pinning spill placement and host traffic,
+* ``scenario:KIND/{assist,base}`` — prefetch/memoization scenario runs
+  with and without the assist-warp controller.
+
+A subset of keys is additionally replayed with ``REPRO_SOA=0`` against
+the *same* fixture entries: the vectorized and pure-Python cores must
+agree byte-exactly, so one fixture serves both backends.
 """
 
 import json
@@ -20,14 +33,48 @@ import pytest
 
 from repro import design as designs
 from repro.gpu.config import GPUConfig
-from repro.harness.runner import clear_caches, run_app
-from repro.workloads.tracegen import TraceScale
+from repro.harness.runner import (
+    clear_caches,
+    run_app,
+    run_spec,
+    scenario_spec,
+)
+from repro.memory.hostlink import CapacityConfig
+from repro.workloads import get_app
+from repro.workloads.tracegen import TraceScale, footprint_extents
 
 FIXTURE = Path(__file__).parent.parent / "fixtures" / "golden_stats.json"
 SCALE = TraceScale(work=0.25, waves=0.25)
 
-APPS = ("PVC", "MM", "CONS")
+APPS = ("PVC", "MM", "CONS", "ATTN", "ST3D")
 ALGORITHMS = ("none", "bdi", "fpc", "cpack", "bestofall")
+
+#: Capacity-mode entries: the baseline spills hard at a 25 % budget;
+#: CABA-BDI still spills (the budget undercuts even the compressed
+#: footprint), pinning the compressed-DRAM spill path too.
+CAPACITY_KEYS = ("capacity:PVC/none", "capacity:PVC/bdi")
+CAPACITY_BUDGET_FRACTION = 0.25
+
+SCENARIO_KEYS = (
+    "scenario:prefetch/assist",
+    "scenario:prefetch/base",
+    "scenario:memoization/assist",
+    "scenario:memoization/base",
+)
+
+ALL_KEYS = tuple(
+    f"{app}/{algorithm}" for app in APPS for algorithm in ALGORITHMS
+) + CAPACITY_KEYS + SCENARIO_KEYS
+
+#: Keys replayed under ``REPRO_SOA=0`` against the same fixture entries
+#: (one representative per run family).
+PURE_BACKEND_KEYS = (
+    "ATTN/cpack",
+    "ST3D/bestofall",
+    "capacity:PVC/bdi",
+    "scenario:prefetch/assist",
+    "scenario:memoization/assist",
+)
 
 
 def _design_for(algorithm):
@@ -36,9 +83,17 @@ def _design_for(algorithm):
     return designs.caba(algorithm)
 
 
+def _stat_dict(payload):
+    """Byte-exact rendering of a capacity/scenario stats dict."""
+    return {
+        key: (repr(value) if isinstance(value, float) else value)
+        for key, value in sorted(payload.items())
+    }
+
+
 def _snapshot(run):
     """Byte-exact scalar summary of a run (floats via repr)."""
-    return {
+    snap = {
         "design": run.design,
         "cycles": run.cycles,
         "ipc": repr(run.ipc),
@@ -54,6 +109,45 @@ def _snapshot(run):
         "lines_compressed": run.lines_compressed,
         "occupancy_blocks": run.occupancy_blocks,
     }
+    if run.capacity is not None:
+        snap["capacity"] = _stat_dict(run.capacity)
+    if run.scenario is not None:
+        snap["scenario"] = _stat_dict(run.scenario)
+    return snap
+
+
+def _capacity_budget(app, config):
+    extents = footprint_extents(get_app(app), config, SCALE)
+    total_lines = sum(lines for _, lines in extents)
+    return max(
+        config.line_size,
+        int(total_lines * config.line_size * CAPACITY_BUDGET_FRACTION),
+    )
+
+
+def _run_for_key(key):
+    """Replay the run a fixture key names, from a cold cache."""
+    # The observed compression ratio is an aggregate over the shared
+    # per-process line-info cache, so snapshots must come from a cold
+    # run to be independent of test order.
+    clear_caches()
+    config = GPUConfig.small()
+    if key.startswith("capacity:"):
+        app, algorithm = key[len("capacity:"):].split("/")
+        return run_app(
+            app, _design_for(algorithm), config, scale=SCALE,
+            use_cache=False,
+            capacity=CapacityConfig(
+                device_bytes=_capacity_budget(app, config)
+            ),
+        )
+    if key.startswith("scenario:"):
+        kind, variant = key[len("scenario:"):].split("/")
+        spec = scenario_spec(kind, config, assist=(variant == "assist"))
+        return run_spec(spec, use_cache=False)
+    app, algorithm = key.split("/")
+    return run_app(app, _design_for(algorithm), config, scale=SCALE,
+                   use_cache=False)
 
 
 def _load_golden():
@@ -63,22 +157,10 @@ def _load_golden():
     return json.loads(FIXTURE.read_text())
 
 
-_regen: dict = {}
-
-
-@pytest.mark.parametrize("algorithm", ALGORITHMS)
-@pytest.mark.parametrize("app", APPS)
-def test_golden_stats(app, algorithm):
-    # The observed compression ratio is an aggregate over the shared
-    # per-process line-info cache, so snapshots must come from a cold
-    # run to be independent of test order.
-    clear_caches()
-    run = run_app(app, _design_for(algorithm), GPUConfig.small(),
-                  scale=SCALE, use_cache=False)
-    snapshot = _snapshot(run)
-    key = f"{app}/{algorithm}"
+@pytest.mark.parametrize("key", ALL_KEYS)
+def test_golden_stats(key):
+    snapshot = _snapshot(_run_for_key(key))
     if os.environ.get("REPRO_REGEN_GOLDEN"):
-        _regen[key] = snapshot
         FIXTURE.parent.mkdir(parents=True, exist_ok=True)
         golden = json.loads(FIXTURE.read_text()) if FIXTURE.exists() else {}
         golden[key] = snapshot
@@ -90,9 +172,19 @@ def test_golden_stats(app, algorithm):
     assert snapshot == golden[key]
 
 
+@pytest.mark.parametrize("key", PURE_BACKEND_KEYS)
+def test_golden_stats_pure_backend(key, monkeypatch):
+    """The pure-Python core reproduces the same fixture byte-exactly."""
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        pytest.skip("regenerating")
+    monkeypatch.setenv("REPRO_SOA", "0")
+    golden = _load_golden()
+    assert key in golden, f"fixture has no entry for {key}; regenerate"
+    assert _snapshot(_run_for_key(key)) == golden[key]
+
+
 def test_fixture_covers_full_matrix():
     if os.environ.get("REPRO_REGEN_GOLDEN"):
         pytest.skip("regenerating")
     golden = _load_golden()
-    expected = {f"{app}/{alg}" for app in APPS for alg in ALGORITHMS}
-    assert set(golden) == expected
+    assert set(golden) == set(ALL_KEYS)

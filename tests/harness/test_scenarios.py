@@ -1,0 +1,219 @@
+"""Scenario runs (prefetch/memoization) and capacity-mode equivalence.
+
+Covers the two new run families end-to-end through the RunSpec engine:
+spec validation and content addressing, assist-on vs assist-off
+behaviour, sampled-mode support, and — critically — the equivalence
+guarantees: bandwidth-mode results carry no capacity payload and are
+untouched by the new plumbing, and a capacity run whose budget covers
+the whole footprint times identically to bandwidth mode.
+"""
+
+import pytest
+
+from repro import design as designs
+from repro.gpu.config import GPUConfig
+from repro.gpu.sampling import SampleConfig
+from repro.harness.runner import (
+    RunSpec,
+    clear_caches,
+    run_app,
+    run_spec,
+    scenario_spec,
+)
+from repro.harness.scenarios import (
+    SCENARIO_KINDS,
+    ScenarioSpec,
+    build_scenario,
+    collect_scenario_stats,
+)
+from repro.memory.hostlink import CapacityConfig
+from repro.workloads import get_app
+from repro.workloads.tracegen import TraceScale, footprint_extents
+
+CONFIG = GPUConfig.small()
+SCALE = TraceScale(work=0.25, waves=0.25)
+
+
+def _footprint_bytes(app):
+    extents = footprint_extents(get_app(app), CONFIG, SCALE)
+    return sum(lines for _, lines in extents) * CONFIG.line_size
+
+
+class TestScenarioSpec:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown scenario kind"):
+            ScenarioSpec(kind="teleport")
+
+    @pytest.mark.parametrize("knobs", [
+        {"redundancy": -0.1},
+        {"redundancy": 1.5},
+        {"distance": 0},
+        {"degree": 0},
+        {"region_len": 0},
+    ])
+    def test_rejects_bad_knobs(self, knobs):
+        with pytest.raises(ValueError):
+            ScenarioSpec(kind="prefetch", **knobs)
+
+    def test_distinct_knobs_distinct_addresses(self):
+        a = scenario_spec("prefetch", CONFIG, distance=1)
+        b = scenario_spec("prefetch", CONFIG, distance=4)
+        assert a.canonical() != b.canonical()
+
+    def test_same_knobs_same_address(self):
+        a = scenario_spec("memoization", CONFIG, redundancy=0.5)
+        b = scenario_spec("memoization", CONFIG, redundancy=0.5)
+        assert a.canonical() == b.canonical()
+
+    def test_scenario_requires_baseline_design(self):
+        spec = RunSpec(
+            app="latency_stream",
+            design=designs.caba("bdi"),
+            config=CONFIG,
+            scenario=ScenarioSpec(kind="prefetch"),
+        )
+        with pytest.raises(ValueError, match="baseline design"):
+            run_spec(spec, use_cache=False)
+
+    def test_assist_off_builds_no_factory(self):
+        kernel, factory, controllers = build_scenario(
+            ScenarioSpec(kind="prefetch", assist=False), CONFIG
+        )
+        assert factory is None
+        assert controllers == []
+        assert kernel.name == "latency_stream"
+
+
+class TestScenarioRuns:
+    @pytest.mark.parametrize("kind", SCENARIO_KINDS)
+    def test_assist_stats_populated(self, kind):
+        clear_caches()
+        run = run_spec(scenario_spec(kind, CONFIG), use_cache=False)
+        assert run.scenario is not None
+        assert run.scenario["kind"] == kind
+        assert run.scenario["assist"] is True
+        assert run.capacity is None
+        if kind == "prefetch":
+            assert run.scenario["prefetches_issued"] > 0
+        else:
+            assert run.scenario["lookups"] > 0
+            assert 0.0 <= run.scenario["lut_hit_rate"] <= 1.0
+
+    def test_prefetch_assist_beats_baseline(self):
+        clear_caches()
+        base = run_spec(
+            scenario_spec("prefetch", CONFIG, assist=False),
+            use_cache=False,
+        )
+        assisted = run_spec(
+            scenario_spec("prefetch", CONFIG), use_cache=False
+        )
+        assert assisted.cycles < base.cycles
+        assert base.scenario == {
+            "kind": "prefetch", "assist": False,
+            "l1_load_hits": base.scenario["l1_load_hits"],
+        }
+
+    def test_memoization_tracks_redundancy(self):
+        clear_caches()
+        low = run_spec(
+            scenario_spec("memoization", CONFIG, redundancy=0.05),
+            use_cache=False,
+        )
+        high = run_spec(
+            scenario_spec("memoization", CONFIG, redundancy=0.95),
+            use_cache=False,
+        )
+        assert high.scenario["lut_hit_rate"] > low.scenario["lut_hit_rate"]
+        assert high.scenario["skipped_instrs"] > low.scenario["skipped_instrs"]
+        assert high.cycles < low.cycles
+
+    @pytest.mark.parametrize("kind", SCENARIO_KINDS)
+    def test_sampled_scenario_runs(self, kind):
+        clear_caches()
+        # Windows sized to the scenario kernels' short runs (~3k cycles).
+        sample = SampleConfig(warmup=200, measure=800, skip=2000)
+        exact = run_spec(scenario_spec(kind, CONFIG), use_cache=False)
+        sampled = run_spec(
+            scenario_spec(kind, CONFIG, sample=sample), use_cache=False
+        )
+        assert sampled.scenario is not None
+        assert sampled.scenario["kind"] == kind
+        # Sampling trades exactness for speed, but not by much.
+        assert sampled.ipc == pytest.approx(exact.ipc, rel=0.2)
+
+    def test_scenario_results_cache_round_trip(self):
+        clear_caches()
+        spec = scenario_spec("memoization", CONFIG, redundancy=0.75)
+        first = run_spec(spec)
+        again = run_spec(spec)
+        assert again.scenario == first.scenario
+        assert again.cycles == first.cycles
+
+    def test_collect_stats_assist_off(self):
+        scenario = ScenarioSpec(kind="memoization", assist=False)
+        assert collect_scenario_stats(scenario, []) == {
+            "kind": "memoization", "assist": False,
+        }
+
+
+class TestCapacityEquivalence:
+    def test_bandwidth_mode_carries_no_capacity_payload(self):
+        clear_caches()
+        run = run_app("PVC", designs.base(), CONFIG, scale=SCALE,
+                      use_cache=False)
+        assert run.capacity is None
+        assert "host" not in run.dram_bursts
+
+    def test_generous_budget_times_like_bandwidth_mode(self):
+        """Capacity mode with no spills must not perturb timing."""
+        clear_caches()
+        bandwidth = run_app("PVC", designs.base(), CONFIG, scale=SCALE,
+                            use_cache=False)
+        clear_caches()
+        roomy = run_app(
+            "PVC", designs.base(), CONFIG, scale=SCALE, use_cache=False,
+            capacity=CapacityConfig(
+                device_bytes=10 * _footprint_bytes("PVC")
+            ),
+        )
+        assert roomy.capacity["spill_lines"] == 0
+        assert roomy.capacity["host_bursts"] == 0
+        assert roomy.cycles == bandwidth.cycles
+        assert roomy.ipc == bandwidth.ipc
+        assert roomy.slot_breakdown == bandwidth.slot_breakdown
+
+    def test_tight_budget_spills_and_slows(self):
+        clear_caches()
+        footprint = _footprint_bytes("PVC")
+        bandwidth = run_app("PVC", designs.base(), CONFIG, scale=SCALE,
+                            use_cache=False)
+        clear_caches()
+        tight = run_app(
+            "PVC", designs.base(), CONFIG, scale=SCALE, use_cache=False,
+            capacity=CapacityConfig(device_bytes=footprint // 4),
+        )
+        assert tight.capacity["spill_lines"] > 0
+        assert tight.capacity["host_bursts"] > 0
+        assert tight.capacity["host_bus_utilization"] > 0.0
+        assert tight.cycles > bandwidth.cycles
+
+    def test_compression_recovers_capacity(self):
+        """CABA-BDI fits more of the footprint on-device than base."""
+        clear_caches()
+        budget = CapacityConfig(device_bytes=_footprint_bytes("PVC") // 2)
+        base = run_app("PVC", designs.base(), CONFIG, scale=SCALE,
+                       use_cache=False, capacity=budget)
+        caba = run_app("PVC", designs.caba("bdi"), CONFIG, scale=SCALE,
+                       use_cache=False, capacity=budget)
+        assert caba.capacity["spill_lines"] < base.capacity["spill_lines"]
+        assert (caba.capacity["effective_capacity_ratio"]
+                > base.capacity["effective_capacity_ratio"])
+
+    def test_capacity_in_content_address(self):
+        plain = RunSpec("PVC", designs.base(), CONFIG, scale=SCALE)
+        capped = RunSpec(
+            "PVC", designs.base(), CONFIG, scale=SCALE,
+            capacity=CapacityConfig(device_bytes=1 << 20),
+        )
+        assert plain.canonical() != capped.canonical()
