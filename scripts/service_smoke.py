@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""CI smoke for the sweep service: dedup and quotas over real HTTP.
+
+Starts an in-process server (real sockets, ephemeral port), then:
+
+1. tenant A submits a small sweep and waits for results,
+2. tenant B resubmits the identical sweep — must be served from the
+   content-addressed cache with **zero additional simulator
+   invocations** (checked against the runner's run-count hook) and
+   byte-for-byte identical result bytes,
+3. tenant C provokes exactly one rate-limit rejection — which must be
+   a structured 429 and must not disturb anyone else's results.
+
+Exit status is the verdict; every step prints what it proved. Runs on
+both CI legs (with and without numpy) — the service layer itself is
+pure stdlib, so this mainly proves the harness underneath behaves the
+same way in both configurations.
+"""
+
+import argparse
+import os
+import sys
+import tempfile
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(__file__), "..", "src")
+)
+
+from repro.harness import runner  # noqa: E402
+from repro.harness.parallel import ExperimentEngine  # noqa: E402
+from repro.service.client import ServiceClient, ServiceError  # noqa: E402
+from repro.service.jobs import JobStore  # noqa: E402
+from repro.service.quota import QuotaLimits  # noqa: E402
+from repro.service.server import ServiceConfig, SweepServer  # noqa: E402
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--apps", nargs="+", default=["MM"])
+    parser.add_argument("--designs", nargs="+", default=["base", "caba"])
+    args = parser.parse_args()
+
+    # Hermetic cache: the zero-new-simulations assertion must not be
+    # satisfied by entries from an earlier run of this very script.
+    os.environ["REPRO_CACHE_DIR"] = tempfile.mkdtemp(prefix="svc-smoke-")
+    runner.clear_caches()
+
+    # Eight decimal zeros of rate: each tenant effectively gets exactly
+    # its one burst token, making the rejection in step 3 deterministic.
+    store = JobStore(
+        engine=ExperimentEngine(jobs=1),
+        limits=QuotaLimits(rate=1e-8, burst=1.0,
+                           max_queued_jobs=10, max_inflight_specs=100),
+    )
+    server = SweepServer(store, ServiceConfig(host="127.0.0.1", port=0))
+    host, port = server.start_background()
+    url = f"http://{host}:{port}"
+    print(f"server: {url}")
+    sweep = {"sweep": {"apps": args.apps, "designs": args.designs}}
+    n_specs = len(args.apps) * len(args.designs)
+
+    try:
+        # --- 1. first submission simulates -------------------------------
+        alice = ServiceClient(url, tenant="smoke-a")
+        before = runner.simulation_count()
+        accepted = alice.submit(sweep)
+        final = alice.wait(accepted["job"], timeout=600.0)
+        if final["status"] != "done":
+            fail(f"first sweep ended {final['status']}: "
+                 f"{final['failures']}")
+        first_sims = runner.simulation_count() - before
+        if first_sims != n_specs:
+            fail(f"first sweep ran {first_sims} simulations, "
+                 f"expected {n_specs}")
+        alice_bytes = alice.result_bytes(accepted["job"])
+        print(f"step 1 ok: sweep of {n_specs} specs simulated "
+              f"{first_sims} times, job {accepted['job']} done")
+
+        # --- 2. identical resubmission costs zero simulations ------------
+        bob = ServiceClient(url, tenant="smoke-b")
+        before = runner.simulation_count()
+        dedup = bob.submit(sweep)
+        if dedup["served_from"] not in ("cache", "coalesced"):
+            fail(f"resubmission was served from {dedup['served_from']!r}")
+        bob.wait(dedup["job"], timeout=60.0)
+        extra = runner.simulation_count() - before
+        if extra != 0:
+            fail(f"resubmission ran {extra} extra simulations")
+        bob_bytes = bob.result_bytes(dedup["job"])
+        if alice_bytes != bob_bytes:
+            fail("second tenant's result bytes differ from the first's")
+        print(f"step 2 ok: resubmission served from "
+              f"{dedup['served_from']}, 0 new simulations, "
+              f"{len(bob_bytes)} result bytes byte-identical")
+
+        # --- 3. one rate-limit rejection, nobody disturbed ---------------
+        carol = ServiceClient(url, tenant="smoke-c")
+        carol.submit(sweep)  # burns carol's single burst token
+        try:
+            carol.submit(sweep)
+        except ServiceError as exc:
+            if exc.status != 429 or exc.code != "rate-limited":
+                fail(f"expected a structured 429 rate-limited, got "
+                     f"HTTP {exc.status} [{exc.code}]")
+            print(f"step 3 ok: rejection is structured "
+                  f"(HTTP {exc.status}, code={exc.code}, "
+                  f"retry_after={exc.retry_after:.0f}s)")
+        else:
+            fail("second submission in the same second was not "
+                 "rate-limited")
+        if alice.result_bytes(accepted["job"]) != alice_bytes:
+            fail("rate-limited tenant disturbed another tenant's results")
+
+        stats = alice.stats()
+        print(f"stats: {stats['jobs']} jobs, served_from="
+              f"{stats['served_from']}, "
+              f"{stats['simulations']} simulations, "
+              f"rejected={stats['tenants']['smoke-c']['rejected']}")
+        if stats["tenants"]["smoke-c"]["rejected"] != 1:
+            fail("expected exactly one recorded rejection")
+    finally:
+        server.stop()
+        store.close()
+
+    print("service smoke: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,10 @@ Commands:
                          conservation invariants
     bench report         render the checked-in BENCH_*.json benchmark
                          records (before/after trajectory) as tables
+    serve                run the simulation-as-a-service sweep server
+    submit               submit a run list / sweep to a sweep server
+    status JOB           poll one job's progress on a sweep server
+    result JOB           fetch one finished job's results as JSON
 
 The CLI is a thin layer over the public API (``repro.run_app``,
 ``repro.harness.figures``), so everything it prints is reproducible from
@@ -201,6 +205,12 @@ def _build_parser() -> argparse.ArgumentParser:
     check_p.add_argument("--skip-sampling", action="store_true",
                          help="skip the sampled-vs-exact differential "
                               "(the slowest pass: nine complete runs)")
+    check_p.add_argument("--sampling-points", nargs="+", default=None,
+                         metavar="APP@DESIGN",
+                         help="sampling-differential points to certify "
+                              "(e.g. PVC@Base MM@CABA-BDI); requesting a "
+                              "point outside the certified matrix fails "
+                              "with UncertifiedSamplingPointError")
     check_p.add_argument("--skip-soa", action="store_true",
                          help="skip the SoA-vs-reference simulator "
                               "differential")
@@ -224,6 +234,63 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="benchmark record files (default: "
                               "BENCH_runner.json and BENCH_compression.json "
                               "in the current directory)")
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the async sweep server (submissions dedup against the "
+             "content-addressed run cache and in-flight work)",
+    )
+    serve_p.add_argument("--host", default=None,
+                         help="bind address (default: REPRO_SERVE_HOST "
+                              "or 127.0.0.1)")
+    serve_p.add_argument("--port", type=int, default=None,
+                         help="bind port, 0 for ephemeral (default: "
+                              "REPRO_SERVE_PORT or 8377)")
+    serve_p.add_argument("--jobs", type=_jobs_arg, default=None,
+                         help="simulation worker processes "
+                              "(default: REPRO_SERVE_JOBS or 1)")
+
+    url_help = "server URL (default: REPRO_SERVE_URL or http://127.0.0.1:8377)"
+    submit_p = sub.add_parser(
+        "submit", help="submit runs to a sweep server"
+    )
+    submit_p.add_argument("payload", nargs="?", default=None,
+                          help="JSON payload file ('-' for stdin) with "
+                               "'runs' or 'sweep'; omit when using "
+                               "--apps/--designs")
+    submit_p.add_argument("--apps", nargs="+", default=None, metavar="APP",
+                          help="sweep these apps (cross product with "
+                               "--designs)")
+    submit_p.add_argument("--designs", nargs="+", default=None,
+                          metavar="DESIGN",
+                          help="sweep design names (default: all; see "
+                               "'run --design' choices)")
+    submit_p.add_argument("--algorithm", default="bdi",
+                          help="compression algorithm for the sweep "
+                               "(default bdi)")
+    submit_p.add_argument("--config", choices=sorted(CONFIGS),
+                          default="small")
+    submit_p.add_argument("--url", default=None, help=url_help)
+    submit_p.add_argument("--tenant", default=None,
+                          help="tenant identity for quotas (default: "
+                               "REPRO_SERVE_TENANT or 'anonymous')")
+    submit_p.add_argument("--wait", action="store_true",
+                          help="block until the job finishes and print "
+                               "its results")
+
+    status_p = sub.add_parser(
+        "status", help="poll one job's progress on a sweep server"
+    )
+    status_p.add_argument("job", help="job id returned by submit")
+    status_p.add_argument("--url", default=None, help=url_help)
+    status_p.add_argument("--tenant", default=None)
+
+    result_p = sub.add_parser(
+        "result", help="fetch one finished job's results as JSON"
+    )
+    result_p.add_argument("job", help="job id returned by submit")
+    result_p.add_argument("--url", default=None, help=url_help)
+    result_p.add_argument("--tenant", default=None)
     return parser
 
 
@@ -442,12 +509,20 @@ def _cmd_cache(args) -> int:
         print(f"tmp leftovers : {info['tmp_entries']} "
               f"({info['tmp_bytes'] / 1024:.1f} KiB; "
               f"'cache sweep' removes them)")
+        if info["tmp_young_entries"]:
+            print(f"  young (kept) : {info['tmp_young_entries']} newer "
+                  f"than {info['tmp_age_threshold']:.0f}s — possible "
+                  f"in-flight writes, skipped by 'cache sweep'")
         if not cache_enabled():
             print("note: persistent caching is disabled (REPRO_CACHE=0)")
         return 0
     if args.action == "sweep":
         removed = cache.sweep_tmp()
+        skipped = cache.info()["tmp_young_entries"]
         print(f"swept {removed} leftover .tmp file(s) from {cache.root}")
+        if skipped:
+            print(f"kept {skipped} young .tmp file(s) (possible in-flight "
+                  f"writes; REPRO_CACHE_TMP_AGE tunes the threshold)")
         return 0
     removed = cache.clear()
     print(f"removed {removed} cached runs from {cache.root}")
@@ -508,6 +583,17 @@ def _cmd_check(args) -> int:
         lines = 256
     for app in apps or ():
         get_app(app)  # early, friendly error for bad names
+    if args.sampling_points:
+        from repro.verify import parse_point
+
+        try:
+            for text in args.sampling_points:
+                app, _ = parse_point(text)
+                get_app(app)
+        except (KeyError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        sampling = True  # an explicit request overrides --quick's skip
     report = run_checks(
         seed=args.seed,
         lines=lines,
@@ -521,6 +607,7 @@ def _cmd_check(args) -> int:
         scenarios=not args.skip_scenarios,
         differential_apps=differential_apps,
         differential_lines=differential_lines,
+        sampling_points=args.sampling_points,
     )
     print(report.render(verbose=args.verbose))
     return 0 if report.ok else 1
@@ -555,6 +642,127 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.service.server import ServiceConfig, make_server
+
+    config = ServiceConfig.from_env()
+    if args.host is not None:
+        config.host = args.host
+    if args.port is not None:
+        config.port = args.port
+    if args.jobs is not None:
+        config.jobs = args.jobs
+    server = make_server(config)
+    host, port = server.start_background()
+    limits = config.limits
+    print(f"sweep server listening on http://{host}:{port}")
+    print(f"  engine jobs      : {config.jobs}")
+    print(f"  tenant rate      : {limits.rate:g}/s "
+          f"(burst {limits.burst:g})")
+    print(f"  tenant queue cap : {limits.max_queued_jobs} jobs, "
+          f"{limits.max_inflight_specs} in-flight specs")
+    try:
+        # The server runs on its own event-loop thread; this thread
+        # just waits for an interrupt so Ctrl-C shuts down cleanly.
+        asyncio.run(asyncio.Event().wait())
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.stop()
+        server.store.close()
+    return 0
+
+
+def _service_client(args):
+    import os
+
+    from repro.service.client import ServiceClient
+
+    url = args.url or os.environ.get(
+        "REPRO_SERVE_URL", "http://127.0.0.1:8377"
+    )
+    tenant = args.tenant or os.environ.get(
+        "REPRO_SERVE_TENANT", "anonymous"
+    )
+    return ServiceClient(url, tenant=tenant)
+
+
+def _cmd_submit(args) -> int:
+    import json
+
+    from repro.service.client import ServiceError
+
+    if (args.payload is None) == (args.apps is None):
+        print("error: give a payload file or --apps, not both",
+              file=sys.stderr)
+        return 2
+    if args.payload is not None:
+        try:
+            if args.payload == "-":
+                payload = json.load(sys.stdin)
+            else:
+                with open(args.payload) as fh:
+                    payload = json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read payload: {exc}", file=sys.stderr)
+            return 2
+    else:
+        sweep = {"apps": args.apps, "algorithm": args.algorithm,
+                 "config": args.config}
+        if args.designs is not None:
+            sweep["designs"] = args.designs
+        payload = {"sweep": sweep}
+    client = _service_client(args)
+    try:
+        accepted = client.submit(payload)
+    except (ServiceError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"job        : {accepted['job']}")
+    print(f"tenant     : {accepted['tenant']}")
+    print(f"served from: {accepted['served_from']}")
+    print(f"specs      : {accepted['specs']}")
+    if not args.wait:
+        return 0
+    try:
+        final = client.wait(accepted["job"])
+        print(json.dumps(client.result(accepted["job"]), indent=2,
+                         sort_keys=True))
+    except (ServiceError, OSError, TimeoutError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0 if final["status"] == "done" else 1
+
+
+def _cmd_status(args) -> int:
+    import json
+
+    from repro.service.client import ServiceError
+
+    client = _service_client(args)
+    try:
+        status = client.status(args.job)
+    except (ServiceError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(status, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_result(args) -> int:
+    from repro.service.client import ServiceError
+
+    client = _service_client(args)
+    try:
+        sys.stdout.write(client.result_bytes(args.job).decode())
+    except (ServiceError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
 _COMMANDS = {
     "list-apps": lambda args: _cmd_list_apps(),
     "run": _cmd_run,
@@ -565,6 +773,10 @@ _COMMANDS = {
     "cache": _cmd_cache,
     "check": _cmd_check,
     "bench": _cmd_bench,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "status": _cmd_status,
+    "result": _cmd_result,
 }
 
 

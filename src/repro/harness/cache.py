@@ -23,6 +23,8 @@ Knobs (also documented in README.md):
 
 * ``REPRO_CACHE_DIR`` — cache root (default ``~/.cache/repro-caba``).
 * ``REPRO_CACHE=0`` — disable the persistent cache entirely.
+* ``REPRO_CACHE_TMP_AGE`` — minimum age in seconds before ``sweep_tmp``
+  may remove a ``.tmp`` file (default 3600).
 """
 
 from __future__ import annotations
@@ -31,6 +33,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import time
 from pathlib import Path
 
 #: Bump manually on cache-format changes (key scheme, pickle layout).
@@ -66,6 +69,23 @@ def version_stamp() -> str:
 
 def cache_enabled() -> bool:
     return os.environ.get("REPRO_CACHE", "1") != "0"
+
+
+#: Minimum age (seconds) a ``.tmp`` file must reach before ``sweep_tmp``
+#: may remove it. An in-flight atomic write is only milliseconds old;
+#: an orphan from a killed worker ages indefinitely, so an hour cleanly
+#: separates the two.
+DEFAULT_TMP_AGE = 3600.0
+
+
+def default_tmp_age() -> float:
+    """Sweep age threshold from ``REPRO_CACHE_TMP_AGE`` (seconds)."""
+    env = os.environ.get("REPRO_CACHE_TMP_AGE", "")
+    try:
+        value = float(env)
+    except ValueError:
+        return DEFAULT_TMP_AGE
+    return max(0.0, value)
 
 
 def default_cache_dir() -> Path:
@@ -182,22 +202,29 @@ class RunCache:
         current = stale = 0
         plane_current = plane_stale = 0
         trace_current = trace_stale = 0
-        tmp_entries = 0
+        tmp_entries = tmp_young = 0
         total_bytes = plane_bytes = trace_bytes = tmp_bytes = 0
+        tmp_age = default_tmp_age()
+        now = time.time()
         if self.root.exists():
             for path in self.root.rglob("*"):
                 try:
                     if not path.is_file():
                         continue
-                    size = path.stat().st_size
+                    stat = path.stat()
+                    size = stat.st_size
                 except OSError:
                     continue  # racing deletion / unreadable entry
                 if path.suffix == ".tmp":
                     # Leftover atomic-write temp from a killed worker:
                     # never a real plane/trace/run entry, whatever
-                    # directory it sits in.
+                    # directory it sits in. Files younger than the
+                    # sweep threshold may still belong to a live
+                    # worker, so 'cache sweep' skips them.
                     tmp_entries += 1
                     tmp_bytes += size
+                    if now - stat.st_mtime < tmp_age:
+                        tmp_young += 1
                     continue
                 try:
                     in_stamp = (
@@ -238,22 +265,38 @@ class RunCache:
             "trace_bytes": trace_bytes,
             "tmp_entries": tmp_entries,
             "tmp_bytes": tmp_bytes,
+            #: Tmp files younger than the sweep age threshold: possible
+            #: in-flight atomic writes that ``sweep_tmp`` will skip.
+            "tmp_young_entries": tmp_young,
+            "tmp_age_threshold": tmp_age,
         }
 
-    def sweep_tmp(self) -> int:
+    def sweep_tmp(self, max_age: float | None = None) -> int:
         """Remove leftover ``.tmp`` files (interrupted atomic writes
         from killed workers, any stamp); returns the number removed.
-        Safe to run while workers are live only in the sense that an
-        in-flight temp file may be swept and its write lost — the
-        worker's ``os.replace`` then fails and that run re-simulates."""
+
+        Only files older than ``max_age`` seconds (mtime-based; default
+        ``REPRO_CACHE_TMP_AGE``, 1 hour) are removed. A younger temp
+        file is an atomic write a live worker is about to
+        ``os.replace`` — sweeping it would make that replace fail and
+        cost a re-simulation — so it is skipped and reported as a young
+        entry by :meth:`info`.
+        """
+        if max_age is None:
+            max_age = default_tmp_age()
         removed = 0
         if not self.root.exists():
             return 0
+        now = time.time()
         for path in self.root.rglob("*.tmp"):
             try:
-                if path.is_file():
-                    path.unlink()
-                    removed += 1
+                stat = path.stat()
+                if not path.is_file():
+                    continue
+                if now - stat.st_mtime < max_age:
+                    continue  # young: likely an in-flight atomic write
+                path.unlink()
+                removed += 1
             except OSError:
                 pass
         return removed

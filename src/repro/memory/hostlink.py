@@ -20,6 +20,7 @@ bytes the simulator moves.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
@@ -144,12 +145,21 @@ class HostLink:
     reserves exactly ``burst_cycles`` on the bus, so
     ``stats.total_bursts * burst_cycles == bus.busy_time`` holds by
     construction (checked by ``repro check``).
+
+    ``burst_cycles`` is quantized with ``ceil`` at construction: a
+    non-divisor ``host_bw_scale`` (e.g. 0.3) would otherwise yield
+    fractional burst cycles, whose repeated float accumulation drifts
+    the conservation identity and charges sub-cycle bus occupancy the
+    integer-cycle core never observes. Rounding up keeps the link
+    conservatively no faster than the configured fraction.
     """
 
     def __init__(self, config: CapacityConfig, dram_burst_cycles: float) -> None:
         self.bus = Timeline()
         self.latency = config.host_latency
-        self.burst_cycles = dram_burst_cycles / config.host_bw_scale
+        self.burst_cycles = math.ceil(
+            dram_burst_cycles / config.host_bw_scale
+        )
         self.stats = HostLinkStats()
 
     def transfer(self, at: float, bursts: int, is_write: bool) -> float:

@@ -1,0 +1,50 @@
+"""Simulation-as-a-service: an async sweep server over the harness.
+
+The figure harnesses already treat every ``(app, design, machine)``
+point as an independent, deterministic, content-addressed unit of work;
+this package puts an HTTP facade in front of that fact. Submissions
+become jobs in a queue over the fault-tolerant
+:class:`~repro.harness.parallel.ExperimentEngine`; identical work —
+whether re-submitted by the same tenant or a different one — is
+de-duplicated at two levels (in-flight coalescing and run-cache
+serving) so it costs **zero additional simulations**; token-bucket
+rates and per-tenant quotas keep one noisy client from starving the
+rest.
+
+Layers (each importable on its own):
+
+* :mod:`repro.service.specs`  — payload <-> RunSpec, content keys,
+  JSON serialization
+* :mod:`repro.service.quota`  — token buckets and per-tenant limits
+* :mod:`repro.service.jobs`   — the job store: queue, dedup, worker,
+  events
+* :mod:`repro.service.server` — the asyncio HTTP front end
+* :mod:`repro.service.client` — the stdlib HTTP client the CLI uses
+
+CLI: ``repro serve`` runs a server; ``repro submit/status/result``
+talk to one.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.jobs import JobNotFinished, JobStore, UnknownJob
+from repro.service.quota import QuotaExceeded, QuotaLimits, QuotaManager
+from repro.service.server import ServiceConfig, SweepServer, make_server
+from repro.service.specs import BadRequest, job_key, parse_request, spec_key
+
+__all__ = [
+    "BadRequest",
+    "JobNotFinished",
+    "JobStore",
+    "QuotaExceeded",
+    "QuotaLimits",
+    "QuotaManager",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "SweepServer",
+    "UnknownJob",
+    "job_key",
+    "make_server",
+    "parse_request",
+    "spec_key",
+]

@@ -1,0 +1,134 @@
+"""Minimal HTTP client for the sweep service (stdlib ``http.client``).
+
+One connection per request (the server closes connections anyway),
+JSON in/out. Error responses raise :class:`ServiceError` carrying the
+HTTP status and the structured error body — including the quota
+``code`` (``rate-limited`` / ``queue-full`` / ``inflight-full``) and
+``retry_after`` hint — so callers branch on machine-readable fields,
+never on message text.
+
+``result_bytes`` returns the raw response body: the two-tenant
+byte-for-byte reproducibility guarantee is asserted on these bytes,
+not on parsed (and thus re-serialized) objects.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from urllib.parse import urlencode, urlsplit
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response; carries the structured error payload."""
+
+    def __init__(self, status: int, payload: dict) -> None:
+        error = payload.get("error", {}) if isinstance(payload, dict) else {}
+        self.status = status
+        self.code = error.get("code", "unknown")
+        self.retry_after = error.get("retry_after")
+        self.payload = payload
+        super().__init__(
+            f"HTTP {status} [{self.code}]: "
+            f"{error.get('message', payload)}"
+        )
+
+
+class ServiceClient:
+    """Talk to one sweep server (``url`` like ``http://host:port``)."""
+
+    def __init__(self, url: str, tenant: str = "anonymous",
+                 timeout: float = 60.0) -> None:
+        parts = urlsplit(url if "//" in url else f"http://{url}")
+        if parts.scheme not in ("", "http"):
+            raise ValueError(f"unsupported scheme {parts.scheme!r} "
+                             "(the sweep server speaks plain http)")
+        self.host = parts.hostname or "127.0.0.1"
+        self.port = parts.port or 8377
+        self.tenant = tenant
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 payload: dict | None = None) -> tuple[int, bytes]:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            body = None
+            headers = {"X-Tenant": self.tenant}
+            if payload is not None:
+                body = json.dumps(payload, sort_keys=True)
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            return response.status, response.read()
+        finally:
+            conn.close()
+
+    def _json(self, method: str, path: str,
+              payload: dict | None = None) -> dict:
+        status, raw = self._request(method, path, payload)
+        try:
+            data = json.loads(raw.decode() or "null")
+        except ValueError:
+            data = {"error": {"code": "bad-response",
+                              "message": raw[:200].decode("latin-1")}}
+        if status >= 400:
+            raise ServiceError(status, data)
+        return data
+
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        return self._json("GET", "/v1/health")
+
+    def stats(self) -> dict:
+        return self._json("GET", "/v1/stats")
+
+    def submit(self, payload: dict) -> dict:
+        """Submit a ``{"runs": [...]}`` or ``{"sweep": {...}}`` payload;
+        returns the acceptance record (job id, served_from, ...)."""
+        return self._json("POST", "/v1/jobs", payload)
+
+    def status(self, job_id: str) -> dict:
+        return self._json("GET", f"/v1/jobs/{job_id}")
+
+    def result(self, job_id: str) -> dict:
+        return self._json("GET", f"/v1/jobs/{job_id}/result")
+
+    def result_bytes(self, job_id: str) -> bytes:
+        """The raw result body (for byte-identity assertions)."""
+        status, raw = self._request("GET", f"/v1/jobs/{job_id}/result")
+        if status >= 400:
+            try:
+                data = json.loads(raw.decode() or "null")
+            except ValueError:
+                data = {}
+            raise ServiceError(status, data)
+        return raw
+
+    def events(self, job_id: str, since: int = 0,
+               wait: float = 0.0) -> list[dict]:
+        query = urlencode({"since": since, "wait": wait})
+        return self._json(
+            "GET", f"/v1/jobs/{job_id}/events?{query}"
+        )["events"]
+
+    def wait(self, job_id: str, timeout: float = 300.0,
+             poll: float = 2.0) -> dict:
+        """Block (long-polling events) until the job is terminal;
+        returns the final status payload."""
+        deadline = time.monotonic() + timeout
+        seen = 0
+        while True:
+            status = self.status(job_id)
+            if status["status"] in ("done", "failed"):
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status['status']} after "
+                    f"{timeout:g}s"
+                )
+            fresh = self.events(job_id, since=seen, wait=poll)
+            if fresh:
+                seen = max(e["seq"] for e in fresh)

@@ -1,0 +1,365 @@
+"""Job queue with content-address dedup over the experiment engine.
+
+The store's unit of execution is a :class:`Work` — one unique set of
+run specs, keyed by :func:`repro.service.specs.job_key` (version stamp
+plus sorted spec content addresses). A :class:`Job` is one tenant's
+handle onto a work; dedup happens at submission time, in two levels:
+
+1. **In-flight coalescing** — a submission whose key matches a queued
+   or running work attaches a new job to that work instead of queuing
+   anything (``served_from="coalesced"``). Both tenants observe the
+   same spec events and the same results.
+2. **Cache serving** — a submission whose specs all resolve from the
+   content-addressed run cache completes instantly
+   (``served_from="cache"``) without touching the queue.
+
+Either way the simulator runs **zero additional times** for the
+duplicate — the guarantee the service tests pin against
+:func:`repro.harness.runner.simulation_count`.
+
+Execution itself is one worker thread draining the queue through
+``ExperimentEngine.run_many(strict=False, on_result=..., on_failure=...)``
+— the same fault-tolerant pool the figure harnesses use, so retries,
+backoff, timeouts and structured :class:`RunFailure` records come for
+free. Every resolved spec appends a seq-numbered event; readers
+long-poll those via :meth:`JobStore.events` (condition variable, no
+busy wait).
+
+The store is thread-safe: one lock guards all job/work state, and the
+engine callbacks (which run on the worker thread) take it only long
+enough to record an event.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.harness import runner
+from repro.harness.parallel import ExperimentEngine, RunFailure
+from repro.harness.runner import RunResult, RunSpec
+from repro.service import specs as specs_mod
+from repro.service.quota import QuotaLimits, QuotaManager
+from repro.service.specs import (
+    failure_payload,
+    job_key,
+    result_payload,
+    spec_label,
+    stall_summary,
+)
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+TERMINAL = (DONE, FAILED)
+
+
+@dataclass
+class Work:
+    """One unique spec set in (or through) the execution queue."""
+
+    key: str
+    specs: list[RunSpec]
+    status: str = QUEUED
+    results: dict[RunSpec, RunResult] = field(default_factory=dict)
+    failures: list[RunFailure] = field(default_factory=list)
+    #: Pre-resolved from the run cache at submission time (subset of
+    #: ``results``); reported so clients can see what dedup saved.
+    cached: set[RunSpec] = field(default_factory=set)
+    events: list[dict] = field(default_factory=list)
+    jobs: list["Job"] = field(default_factory=list)
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in TERMINAL
+
+
+@dataclass
+class Job:
+    """One tenant's handle onto a work."""
+
+    id: str
+    tenant: str
+    work: Work
+    #: ``new`` (first submission), ``coalesced`` (attached to an
+    #: in-flight work) or ``cache`` (served entirely from the cache).
+    served_from: str
+
+
+class UnknownJob(KeyError):
+    """No job with that id (the HTTP layer maps this to 404)."""
+
+
+class JobStore:
+    """Thread-safe submission/queue/result state for the sweep server.
+
+    Args:
+        engine: The experiment engine work executes on. Defaults to a
+            serial in-process engine (``jobs=1``), which keeps the
+            simulation counter observable for dedup accounting; pass a
+            pooled engine to fan sweeps out over processes.
+        limits: Per-tenant quota knobs.
+        clock: Injectable time source for the rate limiter (tests).
+    """
+
+    def __init__(self, engine: ExperimentEngine | None = None,
+                 limits: QuotaLimits | None = None,
+                 clock=None) -> None:
+        self.engine = engine if engine is not None else ExperimentEngine(jobs=1)
+        kwargs = {} if clock is None else {"clock": clock}
+        self.quota = QuotaManager(limits=limits, **kwargs)
+        self._lock = threading.Lock()
+        self._changed = threading.Condition(self._lock)
+        self._jobs: dict[str, Job] = {}
+        self._works: dict[str, Work] = {}
+        self._queue: deque[Work] = deque()
+        self._job_counter = 0
+        self._stopping = False
+        self._worker = threading.Thread(
+            target=self._drain, name="repro-sweep-worker", daemon=True
+        )
+        self._worker.start()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, tenant: str, payload: object) -> Job:
+        """Admit one submission; returns its job handle.
+
+        Raises :class:`~repro.service.specs.BadRequest` on a malformed
+        payload and :class:`~repro.service.quota.QuotaExceeded` when a
+        tenant limit rejects it — in both cases nothing is queued and
+        no other tenant's work is disturbed.
+        """
+        specs = specs_mod.parse_request(payload)
+        # Quota admission happens after parsing (a malformed request is
+        # a 400, not a reservation) but before dedup lookup, so even
+        # fully-deduplicated floods are rate-limited.
+        self.quota.admit(tenant, len(specs))
+        key = job_key(specs)
+        with self._lock:
+            work = self._works.get(key)
+            if work is not None and not work.terminal:
+                job = self._new_job(tenant, work, served_from="coalesced")
+                if work.status == RUNNING:
+                    self.quota.release_queued(tenant)
+                self._event(work, "job-attached", job=job.id, tenant=tenant)
+                return job
+
+            work = Work(key=key, specs=list(specs))
+            # Pre-resolve what the content-addressed cache already
+            # knows; a fully-resolved submission never queues at all.
+            for spec in specs:
+                hit = runner.cached_result(spec)
+                if hit is not None:
+                    work.results[spec] = hit
+                    work.cached.add(spec)
+            self._works[key] = work
+            if len(work.results) == len(specs):
+                work.status = DONE
+                job = self._new_job(tenant, work, served_from="cache")
+                for spec in specs:
+                    self._event(work, "spec-done", spec=spec_label(spec),
+                                source="cache")
+                self._event(work, "done", cached=len(specs))
+                self._release_job(job)
+                self._changed.notify_all()
+                return job
+
+            job = self._new_job(tenant, work, served_from="new")
+            for spec in sorted(work.cached, key=specs.index):
+                self._event(work, "spec-done", spec=spec_label(spec),
+                            source="cache")
+            self._event(work, "queued", specs=len(specs),
+                        cached=len(work.cached))
+            self._queue.append(work)
+            self._changed.notify_all()
+            return job
+
+    def _new_job(self, tenant: str, work: Work, served_from: str) -> Job:
+        self._job_counter += 1
+        job = Job(id=f"j{self._job_counter:06d}", tenant=tenant,
+                  work=work, served_from=served_from)
+        self._jobs[job.id] = job
+        work.jobs.append(job)
+        return job
+
+    def _event(self, work: Work, event: str, **fields) -> None:
+        work.events.append({"seq": len(work.events) + 1,
+                            "event": event, **fields})
+
+    def _release_job(self, job: Job) -> None:
+        """Free one job's quota reservations (terminal or cache-served)."""
+        self.quota.release_queued(job.tenant)
+        self.quota.release_specs(job.tenant, len(job.work.specs))
+
+    # ------------------------------------------------------------------
+    # Worker
+    # ------------------------------------------------------------------
+    def _drain(self) -> None:
+        while True:
+            with self._lock:
+                while not self._queue and not self._stopping:
+                    self._changed.wait()
+                if self._stopping:
+                    return
+                work = self._queue.popleft()
+                work.status = RUNNING
+                self._event(work, "running")
+                for job in work.jobs:
+                    if job.served_from != "cache":
+                        self.quota.release_queued(job.tenant)
+                pending = [spec for spec in work.specs
+                           if spec not in work.results]
+                self._changed.notify_all()
+
+            def on_result(spec: RunSpec, result: RunResult,
+                          _work=work) -> None:
+                with self._lock:
+                    _work.results[spec] = result
+                    self._event(_work, "spec-done", spec=spec_label(spec),
+                                source="run")
+                    self._changed.notify_all()
+
+            def on_failure(failure: RunFailure, _work=work) -> None:
+                with self._lock:
+                    _work.failures.append(failure)
+                    self._event(_work, "spec-failed",
+                                spec=spec_label(failure.spec),
+                                kind=failure.kind,
+                                attempts=failure.attempts)
+                    self._changed.notify_all()
+
+            try:
+                self.engine.run_many(pending, strict=False,
+                                     label=work.key[:12],
+                                     on_result=on_result,
+                                     on_failure=on_failure)
+            except Exception as exc:  # engine-level breakage, not per-spec
+                with self._lock:
+                    self._event(work, "error", detail=repr(exc))
+
+            with self._lock:
+                work.status = FAILED if work.failures else DONE
+                self._event(work, work.status,
+                            done=len(work.results),
+                            failed=len(work.failures))
+                for job in work.jobs:
+                    self.quota.release_specs(job.tenant, len(work.specs))
+                self._changed.notify_all()
+
+    # ------------------------------------------------------------------
+    # Read side
+    # ------------------------------------------------------------------
+    def _job(self, job_id: str) -> Job:
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise UnknownJob(f"unknown job {job_id!r}")
+        return job
+
+    def status(self, job_id: str) -> dict:
+        """Progress snapshot: spec counts, stall attribution so far,
+        structured failures so far."""
+        with self._lock:
+            job = self._job(job_id)
+            work = job.work
+            landed = [work.results[s] for s in work.specs
+                      if s in work.results]
+            return {
+                "job": job.id,
+                "tenant": job.tenant,
+                "status": work.status,
+                "served_from": job.served_from,
+                "work": work.key,
+                "specs": {
+                    "total": len(work.specs),
+                    "done": len(work.results),
+                    "cached": len(work.cached),
+                    "failed": len(work.failures),
+                },
+                "stalls": stall_summary(landed),
+                "failures": [failure_payload(f) for f in work.failures],
+                "events": len(work.events),
+            }
+
+    def result(self, job_id: str) -> dict:
+        """Full results, submission-ordered; only for terminal jobs.
+
+        The payload is *content-determined*: it carries no job id, no
+        tenant, no served_from — only the work key and the results.
+        Serialized with sorted keys (the server does), two tenants
+        submitting the same work read byte-for-byte identical bodies
+        whether theirs was the run that simulated or the one served
+        from cache.
+        """
+        with self._lock:
+            job = self._job(job_id)
+            work = job.work
+            if not work.terminal:
+                raise JobNotFinished(
+                    f"job {job.id} is {work.status}; poll status or "
+                    "events until it is done"
+                )
+            return {
+                "work": work.key,
+                "status": work.status,
+                "results": [
+                    result_payload(work.results[s])
+                    if s in work.results else None
+                    for s in work.specs
+                ],
+                "failures": [failure_payload(f) for f in work.failures],
+                "stalls": stall_summary(list(work.results.values())),
+            }
+
+    def events(self, job_id: str, since: int = 0,
+               wait: float = 0.0) -> list[dict]:
+        """Events with ``seq > since``; blocks up to ``wait`` seconds
+        for fresh ones (long-poll). Terminal works return immediately."""
+        with self._lock:
+            job = self._job(job_id)
+            work = job.work
+            fresh = [e for e in work.events if e["seq"] > since]
+            if fresh or wait <= 0 or work.terminal:
+                return list(fresh)
+            self._changed.wait(timeout=wait)
+            return [e for e in work.events if e["seq"] > since]
+
+    def stats(self) -> dict:
+        """Service-wide counters for ``GET /v1/stats``."""
+        with self._lock:
+            by_status: dict[str, int] = {}
+            for work in self._works.values():
+                by_status[work.status] = by_status.get(work.status, 0) + 1
+            served: dict[str, int] = {}
+            for job in self._jobs.values():
+                served[job.served_from] = served.get(job.served_from, 0) + 1
+            return {
+                "jobs": len(self._jobs),
+                "served_from": served,
+                "works": by_status,
+                "queue_depth": len(self._queue),
+                "simulations": runner.simulation_count(),
+                "tenants": self.quota.snapshot(),
+            }
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop the worker thread and the engine (idempotent).
+
+        Queued-but-unstarted work is abandoned; in-flight work finishes
+        its current batch first.
+        """
+        with self._lock:
+            self._stopping = True
+            self._changed.notify_all()
+        self._worker.join(timeout=60.0)
+        self.engine.close()
+
+
+class JobNotFinished(RuntimeError):
+    """Results were requested before the job reached a terminal state
+    (the HTTP layer maps this to 409)."""

@@ -1,0 +1,184 @@
+"""Per-tenant admission control: token-bucket rates and work quotas.
+
+The sweep service is multi-tenant over one shared machine and one
+shared content-addressed cache, so admission control is the only thing
+standing between one noisy client and everyone else's latency. Three
+independent limits apply at submission time, all per tenant:
+
+* a **token bucket** on submissions (sustained ``rate`` jobs/second
+  with ``burst`` capacity) — absorbs bursts, rejects floods,
+* **max queued jobs** — bounds how deep one tenant's backlog can grow,
+* **max in-flight specs** — bounds the simulation work (the expensive
+  resource) one tenant can hold queued + running at once.
+
+A violation raises :class:`QuotaExceeded` with a machine-readable
+``code``; the server maps it to a structured HTTP 429 and — crucially —
+nothing else: the offending request is dropped before it touches the
+queue, so other tenants' jobs are never disturbed.
+
+Coalesced and cache-served submissions still pay the token bucket (the
+request itself has a cost) but a cache-served job releases its work
+reservation immediately — dedup makes quota headroom, not just speed.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+
+class QuotaExceeded(Exception):
+    """A per-tenant limit rejected the submission.
+
+    ``code`` is machine-readable: ``rate-limited``, ``queue-full`` or
+    ``inflight-full``. ``retry_after`` (seconds) is a hint for
+    ``rate-limited`` rejections.
+    """
+
+    def __init__(self, code: str, message: str,
+                 retry_after: float | None = None) -> None:
+        super().__init__(message)
+        self.code = code
+        self.retry_after = retry_after
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second, ``burst`` capacity.
+
+    ``clock`` is injectable so tests drive time deterministically.
+    A non-positive ``rate`` disables rate limiting entirely.
+    """
+
+    def __init__(self, rate: float, burst: float,
+                 clock=time.monotonic) -> None:
+        self.rate = rate
+        self.burst = max(burst, 1.0)
+        self._clock = clock
+        self._tokens = self.burst
+        self._last = clock()
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` if available; refills lazily from the clock."""
+        if self.rate <= 0:
+            return True
+        now = self._clock()
+        self._tokens = min(self.burst,
+                           self._tokens + (now - self._last) * self.rate)
+        self._last = now
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return True
+        return False
+
+    def retry_after(self, tokens: float = 1.0) -> float:
+        """Seconds until ``tokens`` would be available (0 if now)."""
+        if self.rate <= 0:
+            return 0.0
+        deficit = tokens - self._tokens
+        return max(0.0, deficit / self.rate)
+
+
+@dataclass
+class _TenantState:
+    bucket: TokenBucket
+    queued_jobs: int = 0
+    inflight_specs: int = 0
+    #: Totals for the stats endpoint.
+    submitted: int = 0
+    rejected: int = 0
+
+
+@dataclass
+class QuotaLimits:
+    """The per-tenant knobs (``REPRO_SERVE_*``; see ServiceConfig)."""
+
+    rate: float = 10.0          # submissions/second, sustained
+    burst: float = 20.0         # token-bucket capacity
+    max_queued_jobs: int = 16   # queued (not yet running) jobs
+    max_inflight_specs: int = 256  # specs queued + running
+
+
+class QuotaManager:
+    """Tracks every tenant's bucket and reservations; thread-safe."""
+
+    def __init__(self, limits: QuotaLimits | None = None,
+                 clock=time.monotonic) -> None:
+        self.limits = limits or QuotaLimits()
+        self._clock = clock
+        self._tenants: dict[str, _TenantState] = {}
+        self._lock = threading.Lock()
+
+    def _state(self, tenant: str) -> _TenantState:
+        state = self._tenants.get(tenant)
+        if state is None:
+            state = _TenantState(
+                bucket=TokenBucket(self.limits.rate, self.limits.burst,
+                                   clock=self._clock)
+            )
+            self._tenants[tenant] = state
+        return state
+
+    def admit(self, tenant: str, n_specs: int) -> None:
+        """Charge one submission of ``n_specs`` against ``tenant``.
+
+        Raises :class:`QuotaExceeded` (and reserves nothing) when any
+        limit would be violated; otherwise reserves one queued-job slot
+        and ``n_specs`` in-flight specs — release with
+        :meth:`release_queued` / :meth:`release_specs`.
+        """
+        limits = self.limits
+        with self._lock:
+            state = self._state(tenant)
+            if not state.bucket.try_acquire():
+                state.rejected += 1
+                raise QuotaExceeded(
+                    "rate-limited",
+                    f"tenant {tenant!r} exceeded {limits.rate:g} "
+                    f"submissions/s (burst {limits.burst:g})",
+                    retry_after=state.bucket.retry_after(),
+                )
+            if state.queued_jobs + 1 > limits.max_queued_jobs:
+                state.rejected += 1
+                raise QuotaExceeded(
+                    "queue-full",
+                    f"tenant {tenant!r} already has "
+                    f"{state.queued_jobs} queued job(s) "
+                    f"(max {limits.max_queued_jobs})",
+                )
+            if state.inflight_specs + n_specs > limits.max_inflight_specs:
+                state.rejected += 1
+                raise QuotaExceeded(
+                    "inflight-full",
+                    f"tenant {tenant!r} would hold "
+                    f"{state.inflight_specs + n_specs} in-flight "
+                    f"spec(s) (max {limits.max_inflight_specs})",
+                )
+            state.queued_jobs += 1
+            state.inflight_specs += n_specs
+            state.submitted += 1
+
+    def release_queued(self, tenant: str) -> None:
+        """The job left the queue (started running, or never queued)."""
+        with self._lock:
+            state = self._state(tenant)
+            state.queued_jobs = max(0, state.queued_jobs - 1)
+
+    def release_specs(self, tenant: str, n_specs: int) -> None:
+        """The job reached a terminal state; free its spec reservation."""
+        with self._lock:
+            state = self._state(tenant)
+            state.inflight_specs = max(0, state.inflight_specs - n_specs)
+
+    def snapshot(self) -> dict:
+        """Per-tenant counters for the stats endpoint."""
+        with self._lock:
+            return {
+                tenant: {
+                    "queued_jobs": state.queued_jobs,
+                    "inflight_specs": state.inflight_specs,
+                    "submitted": state.submitted,
+                    "rejected": state.rejected,
+                }
+                for tenant, state in sorted(self._tenants.items())
+            }

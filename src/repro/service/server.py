@@ -1,0 +1,348 @@
+"""Asyncio HTTP front end for the sweep job store.
+
+Simulation-as-a-service over the standard library only: an
+``asyncio.start_server`` loop speaking just enough HTTP/1.1 for the
+JSON API below. No framework, no threads-per-connection — blocking
+store calls (submission's cache probe, the events long-poll) hop to
+the default executor so slow readers never stall the accept loop.
+
+Routes (all JSON, serialized with ``sort_keys`` so identical payloads
+are byte-for-byte identical):
+
+* ``GET  /v1/health``                liveness probe
+* ``GET  /v1/stats``                 queue/dedup/quota/simulation counters
+* ``POST /v1/jobs``                  submit a RunSpec list or sweep;
+                                     202 with the job id, 400 on a bad
+                                     payload, 429 with a structured
+                                     quota error (code + retry-after)
+* ``GET  /v1/jobs/<id>``             progress: per-spec counts, stall
+                                     attribution so far, failures so far
+* ``GET  /v1/jobs/<id>/result``      full results (409 until terminal)
+* ``GET  /v1/jobs/<id>/events``      seq-numbered events; ``?since=N``
+                                     resumes, ``&wait=S`` long-polls
+
+The tenant is the ``X-Tenant`` header (or ``"tenant"`` in the POST
+body; header wins), defaulting to ``"anonymous"`` — an accounting
+identity for quotas, not authentication.
+
+Knobs (``ServiceConfig.from_env``; also in README.md): REPRO_SERVE_HOST,
+REPRO_SERVE_PORT, REPRO_SERVE_JOBS, REPRO_SERVE_RATE, REPRO_SERVE_BURST,
+REPRO_SERVE_MAX_QUEUED, REPRO_SERVE_MAX_INFLIGHT.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import threading
+from dataclasses import dataclass
+from urllib.parse import parse_qs, urlsplit
+
+from repro.harness.parallel import ExperimentEngine
+from repro.service.jobs import JobNotFinished, JobStore, UnknownJob
+from repro.service.quota import QuotaExceeded, QuotaLimits
+from repro.service.specs import BadRequest
+
+#: Request body ceiling (a 4096-spec sweep is far below this).
+MAX_BODY = 8 * 1024 * 1024
+
+#: Long-poll ceiling: clients wanting longer just re-poll with `since`.
+MAX_EVENT_WAIT = 30.0
+
+
+def _env_float(name: str, default: float) -> float:
+    try:
+        return float(os.environ.get(name, ""))
+    except ValueError:
+        return default
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, ""))
+    except ValueError:
+        return default
+
+
+@dataclass
+class ServiceConfig:
+    """Server knobs; :meth:`from_env` reads the ``REPRO_SERVE_*`` set."""
+
+    host: str = "127.0.0.1"
+    port: int = 8377
+    #: Simulation worker processes per sweep (1 = in-process serial).
+    jobs: int = 1
+    limits: QuotaLimits = None
+
+    def __post_init__(self) -> None:
+        if self.limits is None:
+            self.limits = QuotaLimits()
+
+    @classmethod
+    def from_env(cls) -> "ServiceConfig":
+        return cls(
+            host=os.environ.get("REPRO_SERVE_HOST", "127.0.0.1"),
+            port=_env_int("REPRO_SERVE_PORT", 8377),
+            jobs=max(1, _env_int("REPRO_SERVE_JOBS", 1)),
+            limits=QuotaLimits(
+                rate=_env_float("REPRO_SERVE_RATE", QuotaLimits.rate),
+                burst=_env_float("REPRO_SERVE_BURST", QuotaLimits.burst),
+                max_queued_jobs=_env_int(
+                    "REPRO_SERVE_MAX_QUEUED", QuotaLimits.max_queued_jobs
+                ),
+                max_inflight_specs=_env_int(
+                    "REPRO_SERVE_MAX_INFLIGHT",
+                    QuotaLimits.max_inflight_specs,
+                ),
+            ),
+        )
+
+
+_REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request",
+            404: "Not Found", 405: "Method Not Allowed",
+            409: "Conflict", 413: "Payload Too Large",
+            429: "Too Many Requests", 500: "Internal Server Error"}
+
+
+def _response(status: int, payload: dict,
+              extra_headers: dict | None = None) -> bytes:
+    body = json.dumps(payload, sort_keys=True).encode() + b"\n"
+    headers = [
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    for name, value in (extra_headers or {}).items():
+        headers.append(f"{name}: {value}")
+    return "\r\n".join(headers).encode() + b"\r\n\r\n" + body
+
+
+def _error(status: int, code: str, message: str, **fields) -> bytes:
+    extra = {}
+    retry_after = fields.get("retry_after")
+    if retry_after is not None:
+        extra["Retry-After"] = f"{max(0.0, retry_after):.3f}"
+    return _response(
+        status, {"error": {"code": code, "message": message, **fields}},
+        extra_headers=extra,
+    )
+
+
+class SweepServer:
+    """The asyncio front end; owns nothing but sockets (the store owns
+    all job state, so tests drive the store directly too)."""
+
+    def __init__(self, store: JobStore,
+                 config: ServiceConfig | None = None) -> None:
+        self.store = store
+        self.config = config or ServiceConfig()
+        self.address: tuple[str, int] | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._stop_event: asyncio.Event | None = None
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _read_request(self, reader):
+        line = await reader.readline()
+        if not line:
+            return None
+        try:
+            method, target, _version = line.decode().split(None, 2)
+        except ValueError:
+            return None
+        headers = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        body = b""
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY:
+            return method, target, headers, None  # signal: too large
+        if length:
+            body = await reader.readexactly(length)
+        return method, target, headers, body
+
+    async def _handle(self, reader, writer) -> None:
+        try:
+            request = await self._read_request(reader)
+            if request is None:
+                return
+            method, target, headers, body = request
+            if body is None:
+                writer.write(_error(413, "too-large",
+                                    f"body exceeds {MAX_BODY} bytes"))
+            else:
+                writer.write(await self._route(method, target,
+                                               headers, body))
+            await writer.drain()
+        except (asyncio.IncompleteReadError, ConnectionError):
+            pass
+        except Exception as exc:  # never kill the accept loop
+            try:
+                writer.write(_error(500, "internal", repr(exc)))
+                await writer.drain()
+            except Exception:
+                pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def _route(self, method: str, target: str,
+                     headers: dict, body: bytes) -> bytes:
+        url = urlsplit(target)
+        path = url.path.rstrip("/")
+        query = parse_qs(url.query)
+        if path == "/v1/health" and method == "GET":
+            return _response(200, {"ok": True})
+        if path == "/v1/stats" and method == "GET":
+            return _response(200, await self._call(self.store.stats))
+        if path == "/v1/jobs":
+            if method != "POST":
+                return _error(405, "method-not-allowed",
+                              f"{method} not allowed on {path}")
+            return await self._submit(headers, body)
+        if path.startswith("/v1/jobs/") and method == "GET":
+            rest = path[len("/v1/jobs/"):]
+            job_id, _, tail = rest.partition("/")
+            try:
+                if not tail:
+                    return _response(
+                        200, await self._call(self.store.status, job_id)
+                    )
+                if tail == "result":
+                    return _response(
+                        200, await self._call(self.store.result, job_id)
+                    )
+                if tail == "events":
+                    return await self._events(job_id, query)
+            except UnknownJob as exc:
+                return _error(404, "unknown-job", str(exc))
+            except JobNotFinished as exc:
+                return _error(409, "not-finished", str(exc))
+        return _error(404, "not-found", f"no route for {method} {path}")
+
+    async def _call(self, fn, *args):
+        """Run a (briefly) blocking store call off the event loop."""
+        return await asyncio.get_running_loop().run_in_executor(
+            None, fn, *args
+        )
+
+    async def _submit(self, headers: dict, body: bytes) -> bytes:
+        try:
+            payload = json.loads(body.decode() or "null")
+        except ValueError as exc:
+            return _error(400, "bad-json", f"request body is not JSON: {exc}")
+        tenant = headers.get("x-tenant")
+        if not tenant and isinstance(payload, dict):
+            tenant = payload.get("tenant")
+        tenant = tenant or "anonymous"
+        if not isinstance(tenant, str):
+            return _error(400, "bad-request",
+                          f"tenant must be a string, got {tenant!r}")
+        try:
+            job = await self._call(self.store.submit, tenant, payload)
+        except BadRequest as exc:
+            return _error(400, "bad-request", str(exc))
+        except QuotaExceeded as exc:
+            return _error(429, exc.code, str(exc), tenant=tenant,
+                          retry_after=exc.retry_after)
+        return _response(202, {
+            "job": job.id,
+            "tenant": job.tenant,
+            "served_from": job.served_from,
+            "specs": len(job.work.specs),
+            "status": job.work.status,
+        })
+
+    async def _events(self, job_id: str, query: dict) -> bytes:
+        try:
+            since = int(query.get("since", ["0"])[0])
+            wait = min(MAX_EVENT_WAIT,
+                       float(query.get("wait", ["0"])[0]))
+        except ValueError:
+            return _error(400, "bad-request",
+                          "'since' must be an int and 'wait' a float")
+        events = await self._call(
+            lambda: self.store.events(job_id, since=since, wait=wait)
+        )
+        return _response(200, {"job": job_id, "events": events})
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def serve(self) -> None:
+        """Run in the current event loop until cancelled."""
+        server = await asyncio.start_server(
+            self._handle, self.config.host, self.config.port
+        )
+        self._server = server
+        self.address = server.sockets[0].getsockname()[:2]
+        async with server:
+            await server.serve_forever()
+
+    def start_background(self) -> tuple[str, int]:
+        """Run the server in a dedicated event-loop thread; returns the
+        bound (host, port) — with port 0 this is how tests learn the
+        real port."""
+        started = threading.Event()
+
+        def run() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+
+            async def main() -> None:
+                self._stop_event = asyncio.Event()
+                server = await asyncio.start_server(
+                    self._handle, self.config.host, self.config.port
+                )
+                self._server = server
+                self.address = server.sockets[0].getsockname()[:2]
+                started.set()
+                await self._stop_event.wait()
+                server.close()
+                await server.wait_closed()
+
+            try:
+                loop.run_until_complete(main())
+            finally:
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=run, name="repro-sweep-server", daemon=True
+        )
+        self._thread.start()
+        if not started.wait(timeout=10.0):
+            raise RuntimeError("sweep server failed to start")
+        return self.address
+
+    def stop(self) -> None:
+        """Stop a background server (idempotent); the store survives."""
+        loop, self._loop = self._loop, None
+        if loop is not None:
+            loop.call_soon_threadsafe(self._stop_event.set)
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+
+
+def make_server(config: ServiceConfig | None = None) -> SweepServer:
+    """A server over a fresh store built from ``config``."""
+    config = config or ServiceConfig.from_env()
+    store = JobStore(engine=ExperimentEngine(jobs=config.jobs),
+                     limits=config.limits)
+    return SweepServer(store, config)

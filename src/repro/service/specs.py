@@ -1,0 +1,278 @@
+"""Request payloads <-> run specs, and results -> JSON.
+
+The service speaks JSON; the harness speaks :class:`RunSpec`. This
+module is the (stateless) boundary between the two:
+
+* :func:`parse_request` turns a submission payload into the ordered
+  spec list it names — either an explicit ``runs`` list or a ``sweep``
+  cross product (apps x designs, the shape of the paper's Figure 7/8/9
+  matrices). Bad payloads raise :class:`BadRequest` with a message fit
+  for an HTTP 400 body.
+* :func:`spec_key` is the content address of one spec — the *same*
+  sha256 the persistent :mod:`repro.harness.cache` uses, so the
+  service's dedup and the on-disk cache agree by construction.
+* :func:`job_key` addresses a whole submission (the in-flight
+  coalescing unit): the version stamp plus the sorted spec keys, so
+  two tenants submitting the same sweep — in any order — share one
+  execution.
+* :func:`result_payload` / :func:`failure_payload` flatten run
+  outcomes to JSON-safe dicts. Serialized with ``sort_keys`` by the
+  server, identical results serialize to identical bytes — the
+  two-tenant byte-for-byte guarantee rests on this.
+
+Service specs default to **exact** simulation (``sample=None``) rather
+than following ``REPRO_SAMPLE``: a shared server must not let one
+process's ambient environment silently change what another tenant's
+cache-hit results mean. Sampling is opt-in per run via ``"sample"``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Sequence
+
+from repro import design as designs
+from repro.gpu.config import GPUConfig
+from repro.gpu.sampling import SampleConfig
+from repro.gpu.stats import Slot
+from repro.harness.cache import version_stamp
+from repro.harness.parallel import RunFailure
+from repro.harness.runner import RunResult, RunSpec
+from repro.workloads.apps import get_app
+
+#: Machine configurations addressable from a payload (mirrors the CLI).
+CONFIGS = {
+    "small": GPUConfig.small,
+    "medium": GPUConfig.medium,
+    "full": GPUConfig,
+}
+
+#: Design factories addressable from a payload (mirrors the CLI).
+DESIGNS = {
+    "base": lambda algo: designs.base(),
+    "hw-mem": designs.hw_mem,
+    "hw": designs.hw,
+    "caba": designs.caba,
+    "caba-l2u": designs.caba_l2_uncompressed,
+    "ideal": designs.ideal,
+}
+
+#: Specs per submission ceiling: a protocol sanity bound (per-tenant
+#: quotas are the real limiter and usually bind first).
+MAX_SPECS_PER_JOB = 4096
+
+
+class BadRequest(ValueError):
+    """The payload is malformed; the message is the HTTP 400 detail."""
+
+
+def _parse_design(name: object, algorithm: object) -> object:
+    if not isinstance(name, str) or name not in DESIGNS:
+        raise BadRequest(
+            f"unknown design {name!r} (want one of {sorted(DESIGNS)})"
+        )
+    if not isinstance(algorithm, str):
+        raise BadRequest(f"algorithm must be a string, got {algorithm!r}")
+    # DesignPoint does not validate algorithm names (they resolve lazily
+    # at simulation time); a service submission must fail at the door.
+    from repro.compression import ALGORITHMS
+
+    if name != "base" and algorithm not in ALGORITHMS:
+        raise BadRequest(
+            f"unknown algorithm {algorithm!r} "
+            f"(want one of {sorted(ALGORITHMS)})"
+        )
+    try:
+        return DESIGNS[name](algorithm)
+    except (KeyError, ValueError) as exc:
+        raise BadRequest(f"bad design {name!r}/{algorithm!r}: {exc}")
+
+
+def _parse_config(name: object, bandwidth_scale: object) -> GPUConfig:
+    if not isinstance(name, str) or name not in CONFIGS:
+        raise BadRequest(
+            f"unknown config {name!r} (want one of {sorted(CONFIGS)})"
+        )
+    config = CONFIGS[name]()
+    if bandwidth_scale != 1.0:
+        if not isinstance(bandwidth_scale, (int, float)) \
+                or bandwidth_scale <= 0:
+            raise BadRequest(
+                f"bandwidth_scale must be a positive number, got "
+                f"{bandwidth_scale!r}"
+            )
+        config = config.with_bandwidth_scale(float(bandwidth_scale))
+    return config
+
+
+def _parse_sample(value: object) -> SampleConfig | None:
+    """``null``/absent = exact; ``true``/``"1"`` = default period;
+    ``"W:M:S"`` = explicit knobs."""
+    if value is None:
+        return None
+    if value is True:
+        return SampleConfig()
+    if isinstance(value, str):
+        try:
+            return SampleConfig.parse(value)
+        except ValueError as exc:
+            raise BadRequest(f"bad sample {value!r}: {exc}")
+    raise BadRequest(f"bad sample {value!r} (want null, true or 'W:M:S')")
+
+
+def _parse_run(entry: object) -> RunSpec:
+    if not isinstance(entry, dict):
+        raise BadRequest(f"each run must be an object, got {entry!r}")
+    unknown = set(entry) - {"app", "design", "algorithm", "config",
+                            "bandwidth_scale", "sample"}
+    if unknown:
+        raise BadRequest(f"unknown run field(s) {sorted(unknown)}")
+    app = entry.get("app")
+    if not isinstance(app, str):
+        raise BadRequest(f"run needs an 'app' string, got {app!r}")
+    try:
+        profile = get_app(app)
+    except KeyError as exc:
+        raise BadRequest(f"unknown app: {exc}")
+    return RunSpec(
+        app=profile.name,
+        design=_parse_design(entry.get("design", "caba"),
+                             entry.get("algorithm", "bdi")),
+        config=_parse_config(entry.get("config", "small"),
+                             entry.get("bandwidth_scale", 1.0)),
+        sample=_parse_sample(entry.get("sample")),
+    )
+
+
+def _parse_sweep(sweep: object) -> list[RunSpec]:
+    if not isinstance(sweep, dict):
+        raise BadRequest(f"'sweep' must be an object, got {sweep!r}")
+    unknown = set(sweep) - {"apps", "designs", "algorithm", "config",
+                            "bandwidth_scale", "sample"}
+    if unknown:
+        raise BadRequest(f"unknown sweep field(s) {sorted(unknown)}")
+    apps = sweep.get("apps")
+    if not isinstance(apps, list) or not apps:
+        raise BadRequest("'sweep.apps' must be a non-empty list")
+    names = sweep.get("designs", sorted(DESIGNS))
+    if not isinstance(names, list) or not names:
+        raise BadRequest("'sweep.designs' must be a non-empty list")
+    specs = []
+    for app in apps:
+        for design in names:
+            specs.append(_parse_run({
+                "app": app,
+                "design": design,
+                "algorithm": sweep.get("algorithm", "bdi"),
+                "config": sweep.get("config", "small"),
+                "bandwidth_scale": sweep.get("bandwidth_scale", 1.0),
+                "sample": sweep.get("sample"),
+            }))
+    return specs
+
+
+def parse_request(payload: object) -> list[RunSpec]:
+    """The ordered, de-duplicated spec list one submission names."""
+    if not isinstance(payload, dict):
+        raise BadRequest("request body must be a JSON object")
+    runs = payload.get("runs")
+    sweep = payload.get("sweep")
+    if (runs is None) == (sweep is None):
+        raise BadRequest("request needs exactly one of 'runs' or 'sweep'")
+    if runs is not None:
+        if not isinstance(runs, list) or not runs:
+            raise BadRequest("'runs' must be a non-empty list")
+        specs = [_parse_run(entry) for entry in runs]
+    else:
+        specs = _parse_sweep(sweep)
+    unique: list[RunSpec] = []
+    seen: set[RunSpec] = set()
+    for spec in specs:
+        if spec not in seen:
+            seen.add(spec)
+            unique.append(spec)
+    if len(unique) > MAX_SPECS_PER_JOB:
+        raise BadRequest(
+            f"submission names {len(unique)} unique runs "
+            f"(max {MAX_SPECS_PER_JOB})"
+        )
+    return unique
+
+
+# ----------------------------------------------------------------------
+# Content addressing
+# ----------------------------------------------------------------------
+def spec_key(spec: RunSpec) -> str:
+    """Content address of one run — identical to ``RunCache.key``."""
+    payload = f"{version_stamp()}|{spec.canonical()}"
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def job_key(specs: Sequence[RunSpec]) -> str:
+    """Content address of a whole submission: the in-flight coalescing
+    unit. Order-insensitive, so permuted resubmissions still coalesce."""
+    digest = hashlib.sha256(version_stamp().encode())
+    for key in sorted(spec_key(spec) for spec in specs):
+        digest.update(key.encode())
+    return digest.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Result serialization
+# ----------------------------------------------------------------------
+def result_payload(result: RunResult) -> dict:
+    """One run's metrics as a JSON-safe dict (raw/obs excluded)."""
+    return {
+        "app": result.app,
+        "design": result.design,
+        "cycles": result.cycles,
+        "ipc": result.ipc,
+        "instructions": result.instructions,
+        "assist_instructions": result.assist_instructions,
+        "bandwidth_utilization": result.bandwidth_utilization,
+        "compression_ratio": result.compression_ratio,
+        "energy": result.energy.as_dict(),
+        "slot_breakdown": {
+            slot.name.lower(): result.slot_breakdown[slot] for slot in Slot
+        },
+        "md_cache_hit_rate": result.md_cache_hit_rate,
+        "dram_bursts": dict(result.dram_bursts),
+        "l2_hit_rate": result.l2_hit_rate,
+        "truncated": result.truncated,
+        "occupancy_blocks": result.occupancy_blocks,
+        "lines_compressed": result.lines_compressed,
+        "l1_stores": result.l1_stores,
+        "rmw_reads": result.rmw_reads,
+        "capacity": result.capacity,
+        "scenario": result.scenario,
+    }
+
+
+def failure_payload(failure: RunFailure) -> dict:
+    """One structured RunFailure as a JSON-safe dict."""
+    return {
+        "app": failure.spec.app,
+        "design": failure.spec.design.name,
+        "kind": failure.kind,
+        "attempts": failure.attempts,
+        "exception": failure.exception,
+        "worker_pid": failure.worker_pid,
+    }
+
+
+def spec_label(spec: RunSpec) -> str:
+    """Human-readable identity used in events and status rows."""
+    return f"{spec.app}@{spec.design.name}"
+
+
+def stall_summary(results: Sequence[RunResult]) -> dict:
+    """Mean issue-slot attribution over the landed results (the same
+    five slots Figure 1 reports), streamed while a sweep is running."""
+    if not results:
+        return {}
+    return {
+        slot.name.lower(): (
+            sum(r.slot_breakdown[slot] for r in results) / len(results)
+        )
+        for slot in Slot
+    }

@@ -39,19 +39,31 @@ from repro.verify.generators import GENERATOR_NAMES, make_generator
 from repro.verify.invariants import check_invariants, check_scenarios
 from repro.verify.invariants import DEFAULT_APPS as INVARIANT_APPS
 from repro.verify.report import CheckReport, CheckResult
-from repro.verify.sampling import sampling_differential
+from repro.verify.sampling import (
+    CERTIFIED_POINTS,
+    UncertifiedSamplingPointError,
+    is_certified,
+    parse_point,
+    require_certified,
+    sampling_differential,
+)
 from repro.verify.soa import soa_differential
 
 __all__ = [
     "ALL_ALGORITHMS",
+    "CERTIFIED_POINTS",
     "CheckReport",
     "CheckResult",
     "GENERATOR_NAMES",
+    "UncertifiedSamplingPointError",
     "check_invariants",
     "check_scenarios",
     "differential_check",
     "fuzz_roundtrip",
+    "is_certified",
     "make_generator",
+    "parse_point",
+    "require_certified",
     "run_checks",
     "sampling_differential",
     "soa_differential",
@@ -71,6 +83,7 @@ def run_checks(
     scenarios: bool = True,
     differential_apps: Sequence[str] | None = None,
     differential_lines: int | None = None,
+    sampling_points: Sequence[str] | None = None,
 ) -> CheckReport:
     """Run the selected verification passes and aggregate the results.
 
@@ -92,6 +105,11 @@ def run_checks(
             only (``repro check --all`` widens it to every app without
             also replaying a simulation per app).
         differential_lines: Override the differential pass's image size.
+        sampling_points: ``APP@DESIGN`` strings overriding the sampling
+            matrix. Certification is still enforced: requesting an
+            uncertified point (e.g. ``MM@CABA-BDI``) fails the report
+            with a named :class:`UncertifiedSamplingPointError` check
+            rather than measuring an uncalibrated bound or skipping.
     """
     report = CheckReport()
     algorithm_set = tuple(algorithms) if algorithms else ALL_ALGORITHMS
@@ -121,7 +139,11 @@ def run_checks(
             algorithm=algorithm_set[0],
         ))
     if sampling:
-        report.extend(sampling_differential())
+        if sampling_points:
+            points = tuple(parse_point(text) for text in sampling_points)
+            report.extend(sampling_differential(points=points))
+        else:
+            report.extend(sampling_differential())
     if scenarios:
         report.extend(check_scenarios())
     return report

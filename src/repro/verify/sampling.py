@@ -43,6 +43,95 @@ DEFAULT_POINTS: tuple = (
     ("MM", designs.base),
 )
 
+#: The explicit certified matrix: (app, design name) pairs the 2 %
+#: bound is calibrated for — on the certified machine and trace scale
+#: only. Everything else is *uncertified*: MM-CABA-BDI (~2.8 % IPC
+#: drain-tail error), CONS (too few sampling periods), the full
+#: Table-1 machine, non-default scales. Requesting certification of an
+#: uncertified point is a named failure, never a silent pass or skip.
+CERTIFIED_POINTS: frozenset = frozenset(
+    (app, factory().name) for app, factory in DEFAULT_POINTS
+)
+
+
+class UncertifiedSamplingPointError(LookupError):
+    """Certification was requested for an (app, design, machine, scale)
+    point outside the calibrated sampling matrix. The 2 % bound is a
+    measured property of specific points, not a global guarantee; an
+    uncertified point has no bound to enforce, so the request itself is
+    the error."""
+
+
+def _machine_certified(config: GPUConfig, scale: TraceScale) -> bool:
+    """The bound is calibrated on the default machine at default trace
+    scale only (the same point ``run_app`` defaults to)."""
+    return config == GPUConfig.small() and scale == TraceScale()
+
+
+def is_certified(
+    app: str,
+    design_name: str,
+    config: GPUConfig | None = None,
+    scale: TraceScale | None = None,
+) -> bool:
+    """Whether the 2 % sampling bound is certified for this point."""
+    config = config or GPUConfig.small()
+    scale = scale or TraceScale()
+    return (
+        _machine_certified(config, scale)
+        and (app, design_name) in CERTIFIED_POINTS
+    )
+
+
+def require_certified(
+    app: str,
+    design_name: str,
+    config: GPUConfig | None = None,
+    scale: TraceScale | None = None,
+) -> None:
+    """Raise :class:`UncertifiedSamplingPointError` unless the point is
+    in the certified matrix on the certified machine/scale."""
+    if is_certified(app, design_name, config, scale):
+        return
+    config = config or GPUConfig.small()
+    scale = scale or TraceScale()
+    if not _machine_certified(config, scale):
+        why = "machine/scale differs from the calibrated default"
+    else:
+        why = (
+            "the point is outside the calibrated matrix "
+            f"({sorted(CERTIFIED_POINTS)})"
+        )
+    raise UncertifiedSamplingPointError(
+        f"sampling error bound is not certified for ({app}, "
+        f"{design_name}): {why}; run with certify=False to measure an "
+        "uncertified point experimentally"
+    )
+
+
+def parse_point(text: str) -> tuple:
+    """Parse an ``APP@DESIGN`` request (e.g. ``MM@CABA-BDI``) into an
+    (app, design factory) matrix point. ``DESIGN`` is ``Base`` or
+    ``CABA-<ALGO>``, case-insensitive."""
+    app, sep, design_name = text.partition("@")
+    if not sep or not app or not design_name:
+        raise ValueError(f"bad sampling point {text!r} (want APP@DESIGN, "
+                         "e.g. MM@Base or PVC@CABA-BDI)")
+    lowered = design_name.lower()
+    if lowered == "base":
+        return app, designs.base
+    if lowered.startswith("caba-"):
+        from repro.compression import ALGORITHMS
+
+        algorithm = lowered[len("caba-"):]
+        if algorithm not in ALGORITHMS:
+            raise ValueError(f"unknown algorithm {algorithm!r} in "
+                             f"sampling point {text!r} "
+                             f"(want one of {sorted(ALGORITHMS)})")
+        return app, (lambda algorithm=algorithm: designs.caba(algorithm))
+    raise ValueError(f"bad design {design_name!r} in sampling point "
+                     f"{text!r} (want Base or CABA-<algorithm>)")
+
 #: Relative error bound on each certified metric, at the default
 #: 10 % detail fraction.
 TOLERANCE = 0.02
@@ -63,14 +152,34 @@ def sampling_differential(
     scale: TraceScale | None = None,
     sample: SampleConfig | None = None,
     tolerance: float = TOLERANCE,
+    certify: bool = True,
 ) -> list[CheckResult]:
-    """Run each matrix point exactly and sampled; bound the deltas."""
+    """Run each matrix point exactly and sampled; bound the deltas.
+
+    With ``certify=True`` (the default — what ``repro check`` enforces)
+    every requested point must be in :data:`CERTIFIED_POINTS` on the
+    certified machine/scale; an uncertified point produces a *failed*
+    check naming :class:`UncertifiedSamplingPointError` instead of
+    silently measuring a bound nobody calibrated. ``certify=False`` is
+    the experimental mode: measure any point, enforce ``tolerance``.
+    """
     config = config or GPUConfig.small()
     scale = scale or TraceScale()
     sample = sample or SampleConfig()
     results: list[CheckResult] = []
     for app, factory in points:
         design = factory()
+        if certify:
+            try:
+                require_certified(app, design.name, config, scale)
+            except UncertifiedSamplingPointError as exc:
+                results.append(CheckResult(
+                    name=f"sampling.certified.{app}.{design.name}",
+                    passed=False,
+                    checked=1,
+                    detail=f"{type(exc).__name__}: {exc}",
+                ))
+                continue
         exact = run_app(app, design, config=config, scale=scale,
                         use_cache=False, sample=None)
         sampled = run_app(app, design, config=config, scale=scale,

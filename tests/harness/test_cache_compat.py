@@ -7,7 +7,9 @@ directory. It must also report trace artifacts, and ``put`` must honour
 its overwrite contract (traced recomputes upgrade untraced entries).
 """
 
+import os
 import pickle
+import time
 
 import pytest
 
@@ -122,21 +124,78 @@ class TestSweepTmp:
         stale = cache.root / "oldstamp"
         stale.mkdir()
         (stale / "tmpccc.tmp").write_bytes(b"z")
-        assert cache.sweep_tmp() == 3
+        assert cache.sweep_tmp(max_age=0.0) == 3
         assert (stamp_dir / "run.pkl").exists()
         assert cache.info()["tmp_entries"] == 0
+
+    def test_sweep_skips_young_tmp_files_by_default(self, cache):
+        """The race regression: a just-created .tmp is an atomic write
+        a live worker is about to os.replace — the default sweep must
+        leave it alone instead of eating the write."""
+        stamp_dir = cache.root / cache.stamp
+        stamp_dir.mkdir(parents=True)
+        young = stamp_dir / "tmpinflight.tmp"
+        young.write_bytes(b"mid-write")
+        assert cache.sweep_tmp() == 0
+        assert young.exists()
+
+    def test_sweep_removes_tmp_files_older_than_threshold(self, cache):
+        stamp_dir = cache.root / cache.stamp
+        stamp_dir.mkdir(parents=True)
+        old = stamp_dir / "tmporphan.tmp"
+        old.write_bytes(b"orphaned")
+        ancient = time.time() - 7200.0
+        os.utime(old, (ancient, ancient))
+        young = stamp_dir / "tmpfresh.tmp"
+        young.write_bytes(b"mid-write")
+        assert cache.sweep_tmp() == 1
+        assert not old.exists()
+        assert young.exists()
+
+    def test_info_reports_young_tmp_entries(self, cache):
+        stamp_dir = cache.root / cache.stamp
+        stamp_dir.mkdir(parents=True)
+        old = stamp_dir / "tmporphan.tmp"
+        old.write_bytes(b"orphaned")
+        ancient = time.time() - 7200.0
+        os.utime(old, (ancient, ancient))
+        (stamp_dir / "tmpfresh.tmp").write_bytes(b"mid-write")
+        info = cache.info()
+        assert info["tmp_entries"] == 2
+        assert info["tmp_young_entries"] == 1
+        assert info["tmp_age_threshold"] == pytest.approx(3600.0)
+
+    def test_tmp_age_env_knob(self, cache, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_TMP_AGE", "0")
+        stamp_dir = cache.root / cache.stamp
+        stamp_dir.mkdir(parents=True)
+        (stamp_dir / "tmpq.tmp").write_bytes(b"x")
+        assert cache.sweep_tmp() == 1
 
     def test_sweep_on_missing_root_is_zero(self, tmp_path):
         assert RunCache(root=tmp_path / "nope", stamp="s").sweep_tmp() == 0
 
     def test_cli_cache_sweep(self, cache, monkeypatch, capsys):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(cache.root))
+        monkeypatch.setenv("REPRO_CACHE_TMP_AGE", "0")
         stamp_dir = cache.root / cache.stamp
         stamp_dir.mkdir(parents=True)
         (stamp_dir / "tmpq.tmp").write_bytes(b"x")
         assert main(["cache", "sweep"]) == 0
         assert "swept 1" in capsys.readouterr().out
         assert not (stamp_dir / "tmpq.tmp").exists()
+
+    def test_cli_cache_sweep_reports_kept_young_files(self, cache,
+                                                      monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(cache.root))
+        stamp_dir = cache.root / cache.stamp
+        stamp_dir.mkdir(parents=True)
+        (stamp_dir / "tmpq.tmp").write_bytes(b"x")
+        assert main(["cache", "sweep"]) == 0
+        out = capsys.readouterr().out
+        assert "swept 0" in out
+        assert "kept 1 young" in out
+        assert (stamp_dir / "tmpq.tmp").exists()
 
     def test_cli_cache_info_reports_tmp(self, cache, monkeypatch, capsys):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(cache.root))

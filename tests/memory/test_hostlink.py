@@ -102,7 +102,26 @@ class TestHostLink:
 
     def test_bandwidth_scale_stretches_bursts(self):
         link = self.make(scale=0.25, dram_burst_cycles=2.0)
-        assert link.burst_cycles == pytest.approx(8.0)
+        assert link.burst_cycles == 8
+
+    def test_non_divisor_scale_quantizes_with_ceil(self):
+        """The timing regression: 2.0 / 0.3 is 6.67 fractional cycles;
+        the link must charge whole cycles (rounded up, never faster
+        than the configured fraction)."""
+        link = self.make(scale=0.3, dram_burst_cycles=2.0)
+        assert link.burst_cycles == 7
+        assert isinstance(link.burst_cycles, int)
+
+    def test_non_divisor_scale_conservation_identity_is_exact(self):
+        """bursts x burst_cycles == bus.busy_time must hold exactly —
+        not approximately — for a non-divisor host_bw_scale, which the
+        old float division broke by accumulating fractional cycles."""
+        link = self.make(latency=50.0, scale=0.3, dram_burst_cycles=2.0)
+        for i in range(100):
+            link.transfer(at=float(3 * i), bursts=1 + i % 4,
+                          is_write=i % 3 == 0)
+        assert link.stats.total_bursts * link.burst_cycles \
+            == link.bus.busy_time
 
     def test_transfer_pays_latency_then_bus(self):
         link = self.make(latency=100.0, scale=1.0, dram_burst_cycles=2.0)

@@ -1,0 +1,95 @@
+"""Shared fixtures for the service tests: fabricated results and a
+gateable stub engine, so queue/dedup/quota behaviour is tested
+deterministically without paying for real simulations."""
+
+import threading
+
+import pytest
+
+from repro.energy.model import EnergyBreakdown
+from repro.gpu.stats import Slot
+from repro.harness import runner
+from repro.harness.runner import RunResult, RunSpec
+
+
+@pytest.fixture(autouse=True)
+def _isolated_service_cache(tmp_path, monkeypatch):
+    """Per-test cache isolation: the stub engine records *fabricated*
+    results through the real checkpoint path (that is what the dedup
+    layer reads back), and those must never leak into the session-wide
+    cache other tests' real simulations resolve from."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "service-cache"))
+    runner.clear_caches()
+    yield
+    runner.clear_caches()
+
+
+def make_result(spec: RunSpec, cycles: int = 1000) -> RunResult:
+    """A minimal, raw-free RunResult consistent with ``spec``."""
+    return RunResult(
+        app=spec.app,
+        design=spec.design.name,
+        cycles=cycles,
+        ipc=1.5,
+        instructions=cycles,
+        assist_instructions=0,
+        bandwidth_utilization=0.5,
+        compression_ratio=1.0,
+        energy=EnergyBreakdown(core_dynamic=1.0),
+        slot_breakdown={slot: 0.2 for slot in Slot},
+        md_cache_hit_rate=None,
+        dram_bursts={},
+        l2_hit_rate=0.5,
+        truncated=False,
+        occupancy_blocks=1,
+    )
+
+
+class GateEngine:
+    """Engine stub: ``run_many`` blocks on a gate, then resolves every
+    spec with a fabricated result (or a scripted failure). Lets tests
+    hold work in the RUNNING state while they probe coalescing, events
+    and quotas."""
+
+    def __init__(self, gated: bool = False) -> None:
+        self.gate = threading.Event()
+        if not gated:
+            self.gate.set()
+        self.calls = 0
+        self.specs_run = []
+        #: Specs (by ``app@design`` label) that fail instead of resolve.
+        self.fail = set()
+
+    def run_many(self, specs, strict=True, label=None,
+                 on_result=None, on_failure=None):
+        from repro.harness.parallel import RunFailure
+
+        self.calls += 1
+        assert self.gate.wait(timeout=30.0), "gate never opened"
+        for spec in specs:
+            self.specs_run.append(spec)
+            if f"{spec.app}@{spec.design.name}" in self.fail:
+                on_failure(RunFailure(
+                    spec=spec, kind="error", attempts=2,
+                    exception="InjectedFault: scripted failure",
+                ))
+            else:
+                result = make_result(spec)
+                # Same contract as the real engine: checkpoint the
+                # result into the runner caches as it lands, so a
+                # later identical submission cache-serves.
+                runner.record_result(spec, result)
+                on_result(spec, result)
+
+    def close(self) -> None:
+        self.gate.set()
+
+
+@pytest.fixture
+def gate_engine():
+    return GateEngine(gated=True)
+
+
+@pytest.fixture
+def open_engine():
+    return GateEngine(gated=False)

@@ -1,0 +1,212 @@
+"""Job store behaviour (`repro.service.jobs`): queueing, two-level
+dedup, events, failures, quota lifecycle — all against the stub engine
+from conftest, so nothing here simulates."""
+
+import threading
+import time
+
+import pytest
+
+from repro.harness import runner
+from repro.service.jobs import JobNotFinished, JobStore, UnknownJob
+from repro.service.quota import QuotaExceeded, QuotaLimits
+
+PAYLOAD = {"sweep": {"apps": ["MM"], "designs": ["base", "caba"]}}
+OTHER = {"runs": [{"app": "PVC", "design": "base"}]}
+
+LIMITS = QuotaLimits(rate=1e9, burst=1e9,
+                     max_queued_jobs=100, max_inflight_specs=1000)
+
+
+def wait_until(predicate, timeout: float = 10.0) -> None:
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        assert time.monotonic() < deadline, "condition never became true"
+        time.sleep(0.01)
+
+
+@pytest.fixture
+def store(open_engine):
+    store = JobStore(engine=open_engine, limits=LIMITS)
+    yield store
+    store.close()
+
+
+@pytest.fixture
+def gated_store(gate_engine):
+    store = JobStore(engine=gate_engine, limits=LIMITS)
+    yield store
+    gate_engine.gate.set()
+    store.close()
+
+
+class TestLifecycle:
+    def test_submit_runs_and_finishes(self, store, open_engine):
+        job = store.submit("alice", PAYLOAD)
+        assert job.served_from == "new"
+        wait_until(lambda: store.status(job.id)["status"] == "done")
+        status = store.status(job.id)
+        assert status["specs"] == {"total": 2, "done": 2,
+                                   "cached": 0, "failed": 0}
+        assert status["stalls"]["memory_stall"] == pytest.approx(0.2)
+        result = store.result(job.id)
+        assert [r["design"] for r in result["results"]] == \
+            ["Base", "CABA-BDI"]
+        assert open_engine.calls == 1
+
+    def test_result_before_terminal_is_an_error(self, gated_store):
+        job = gated_store.submit("alice", PAYLOAD)
+        with pytest.raises(JobNotFinished):
+            gated_store.result(job.id)
+
+    def test_unknown_job(self, store):
+        with pytest.raises(UnknownJob):
+            store.status("j999999")
+
+    def test_failures_are_structured_and_partial(self, store, open_engine):
+        open_engine.fail.add("MM@CABA-BDI")
+        job = store.submit("alice", PAYLOAD)
+        wait_until(lambda: store.status(job.id)["status"] == "failed")
+        status = store.status(job.id)
+        assert status["specs"]["done"] == 1
+        assert status["specs"]["failed"] == 1
+        (failure,) = status["failures"]
+        assert failure["design"] == "CABA-BDI"
+        assert failure["kind"] == "error"
+        assert "InjectedFault" in failure["exception"]
+        # The completed sibling's result is still delivered.
+        result = store.result(job.id)
+        assert result["results"][0]["design"] == "Base"
+        assert result["results"][1] is None
+
+
+class TestDedup:
+    def test_inflight_coalescing(self, gated_store, gate_engine):
+        first = gated_store.submit("alice", PAYLOAD)
+        wait_until(lambda: gate_engine.calls == 1)  # worker picked it up
+        second = gated_store.submit("bob", PAYLOAD)
+        assert second.served_from == "coalesced"
+        assert second.work is first.work
+        gate_engine.gate.set()
+        wait_until(
+            lambda: gated_store.status(second.id)["status"] == "done"
+        )
+        # One engine batch, both tenants see the same results.
+        assert gate_engine.calls == 1
+        assert gated_store.result(first.id)["results"] == \
+            gated_store.result(second.id)["results"]
+
+    def test_coalescing_while_still_queued(self, gated_store, gate_engine):
+        # Hold the worker on one job; the next two identical submissions
+        # coalesce while their work is still in the queue.
+        blocker = gated_store.submit("alice", OTHER)
+        wait_until(lambda: gate_engine.calls == 1)
+        first = gated_store.submit("alice", PAYLOAD)
+        second = gated_store.submit("bob", PAYLOAD)
+        assert first.served_from == "new"
+        assert second.served_from == "coalesced"
+        gate_engine.gate.set()
+        wait_until(
+            lambda: gated_store.status(second.id)["status"] == "done"
+        )
+        assert gate_engine.calls == 2  # blocker + one shared batch
+        assert gated_store.status(blocker.id)["status"] == "done"
+
+    def test_cache_serving_after_completion(self, store, open_engine):
+        first = store.submit("alice", PAYLOAD)
+        wait_until(lambda: store.status(first.id)["status"] == "done")
+        calls = open_engine.calls
+        second = store.submit("bob", PAYLOAD)
+        assert second.served_from == "cache"
+        assert store.status(second.id)["status"] == "done"
+        assert store.status(second.id)["specs"]["cached"] == 2
+        assert open_engine.calls == calls  # zero new engine batches
+        assert store.result(first.id)["results"] == \
+            store.result(second.id)["results"]
+
+    def test_permuted_resubmission_coalesces(self, gated_store, gate_engine):
+        gated_store.submit("alice", {"runs": [
+            {"app": "MM", "design": "base"},
+            {"app": "PVC", "design": "base"},
+        ]})
+        second = gated_store.submit("bob", {"runs": [
+            {"app": "PVC", "design": "base"},
+            {"app": "MM", "design": "base"},
+        ]})
+        assert second.served_from == "coalesced"
+
+
+class TestEvents:
+    def test_event_stream_and_since(self, store):
+        job = store.submit("alice", PAYLOAD)
+        wait_until(lambda: store.status(job.id)["status"] == "done")
+        events = store.events(job.id)
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "queued"
+        assert kinds[-1] == "done"
+        assert kinds.count("spec-done") == 2
+        assert [e["seq"] for e in events] == \
+            list(range(1, len(events) + 1))
+        # `since` resumes mid-stream.
+        tail = store.events(job.id, since=events[-2]["seq"])
+        assert [e["seq"] for e in tail] == [events[-1]["seq"]]
+
+    def test_long_poll_wakes_on_progress(self, gated_store, gate_engine):
+        job = gated_store.submit("alice", PAYLOAD)
+        wait_until(lambda: gate_engine.calls == 1)
+        seen = {e["seq"] for e in gated_store.events(job.id)}
+        opener = threading.Timer(0.05, gate_engine.gate.set)
+        opener.start()
+        fresh = gated_store.events(job.id, since=max(seen), wait=10.0)
+        opener.join()
+        assert fresh  # woke with new events, not an empty timeout
+
+
+class TestQuotaIntegration:
+    def test_rejection_does_not_disturb_other_tenant(self, gated_store,
+                                                     gate_engine):
+        limits = gated_store.quota.limits
+        gated_store.quota.limits = QuotaLimits(
+            rate=1e9, burst=1e9, max_queued_jobs=100, max_inflight_specs=2
+        )
+        try:
+            alice = gated_store.submit("alice", PAYLOAD)
+            with pytest.raises(QuotaExceeded) as exc_info:
+                gated_store.submit("bob", {"sweep": {
+                    "apps": ["MM", "PVC", "CONS"],
+                    "designs": ["base"],
+                }})
+            assert exc_info.value.code == "inflight-full"
+            gate_engine.gate.set()
+            wait_until(
+                lambda: gated_store.status(alice.id)["status"] == "done"
+            )
+        finally:
+            gated_store.quota.limits = limits
+
+    def test_reservations_release_at_terminal(self, store):
+        job = store.submit("alice", PAYLOAD)
+        wait_until(lambda: store.status(job.id)["status"] == "done")
+        snap = store.stats()["tenants"]["alice"]
+        assert snap["queued_jobs"] == 0
+        assert snap["inflight_specs"] == 0
+
+    def test_cache_served_job_releases_immediately(self, store):
+        first = store.submit("alice", PAYLOAD)
+        wait_until(lambda: store.status(first.id)["status"] == "done")
+        store.submit("bob", PAYLOAD)  # cache-served
+        snap = store.stats()["tenants"]["bob"]
+        assert snap["queued_jobs"] == 0
+        assert snap["inflight_specs"] == 0
+
+
+class TestStats:
+    def test_counters(self, store):
+        job = store.submit("alice", PAYLOAD)
+        wait_until(lambda: store.status(job.id)["status"] == "done")
+        store.submit("bob", PAYLOAD)
+        stats = store.stats()
+        assert stats["jobs"] == 2
+        assert stats["served_from"] == {"new": 1, "cache": 1}
+        assert stats["works"]["done"] == 1
+        assert stats["simulations"] == runner.simulation_count()

@@ -1,0 +1,126 @@
+"""Per-tenant admission control (`repro.service.quota`).
+
+All deterministic: the token bucket takes an injectable clock, so rate
+behaviour is tested by advancing fake time, never by sleeping.
+"""
+
+import pytest
+
+from repro.service.quota import (
+    QuotaExceeded,
+    QuotaLimits,
+    QuotaManager,
+    TokenBucket,
+)
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_empty(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=3.0, clock=clock)
+        assert [bucket.try_acquire() for _ in range(4)] == \
+            [True, True, True, False]
+
+    def test_refills_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=1.0, clock=clock)
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+        clock.advance(0.5)  # 2/s * 0.5s = 1 token
+        assert bucket.try_acquire()
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=2.0, clock=clock)
+        clock.advance(100.0)
+        assert [bucket.try_acquire() for _ in range(3)] == \
+            [True, True, False]
+
+    def test_retry_after(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=1.0, clock=clock)
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+        assert bucket.retry_after() == pytest.approx(0.5)
+
+    def test_nonpositive_rate_disables_limiting(self):
+        bucket = TokenBucket(rate=0.0, burst=1.0, clock=FakeClock())
+        assert all(bucket.try_acquire() for _ in range(100))
+        assert bucket.retry_after() == 0.0
+
+
+class TestQuotaManager:
+    def _manager(self, **limits) -> tuple[QuotaManager, FakeClock]:
+        clock = FakeClock()
+        defaults = dict(rate=1000.0, burst=1000.0,
+                        max_queued_jobs=4, max_inflight_specs=10)
+        defaults.update(limits)
+        return QuotaManager(QuotaLimits(**defaults), clock=clock), clock
+
+    def test_admit_reserves_and_release_frees(self):
+        manager, _ = self._manager()
+        manager.admit("alice", 3)
+        snap = manager.snapshot()["alice"]
+        assert snap["queued_jobs"] == 1
+        assert snap["inflight_specs"] == 3
+        manager.release_queued("alice")
+        manager.release_specs("alice", 3)
+        snap = manager.snapshot()["alice"]
+        assert snap["queued_jobs"] == 0
+        assert snap["inflight_specs"] == 0
+
+    def test_rate_limited_code_and_retry_after(self):
+        manager, _ = self._manager(rate=1e-9, burst=1.0)
+        manager.admit("alice", 1)
+        with pytest.raises(QuotaExceeded) as exc_info:
+            manager.admit("alice", 1)
+        assert exc_info.value.code == "rate-limited"
+        assert exc_info.value.retry_after > 0
+
+    def test_queue_full_code(self):
+        manager, _ = self._manager(max_queued_jobs=1)
+        manager.admit("alice", 1)
+        with pytest.raises(QuotaExceeded) as exc_info:
+            manager.admit("alice", 1)
+        assert exc_info.value.code == "queue-full"
+        # Releasing the queue slot makes room again.
+        manager.release_queued("alice")
+        manager.admit("alice", 1)
+
+    def test_inflight_full_code(self):
+        manager, _ = self._manager(max_inflight_specs=5)
+        manager.admit("alice", 4)
+        manager.release_queued("alice")
+        with pytest.raises(QuotaExceeded) as exc_info:
+            manager.admit("alice", 2)
+        assert exc_info.value.code == "inflight-full"
+        manager.admit("alice", 1)  # 4 + 1 == 5 still fits
+
+    def test_rejection_reserves_nothing(self):
+        manager, _ = self._manager(max_inflight_specs=2)
+        with pytest.raises(QuotaExceeded):
+            manager.admit("alice", 3)
+        snap = manager.snapshot()["alice"]
+        assert snap["queued_jobs"] == 0
+        assert snap["inflight_specs"] == 0
+        assert snap["rejected"] == 1
+        assert snap["submitted"] == 0
+
+    def test_tenants_are_independent(self):
+        manager, _ = self._manager(max_queued_jobs=1)
+        manager.admit("alice", 1)
+        with pytest.raises(QuotaExceeded):
+            manager.admit("alice", 1)
+        # Alice's exhausted quota never touches Bob.
+        manager.admit("bob", 1)

@@ -1,0 +1,139 @@
+"""Payload parsing and content addressing (`repro.service.specs`)."""
+
+import json
+
+import pytest
+
+from repro import design as designs
+from repro.gpu.config import GPUConfig
+from repro.gpu.sampling import SampleConfig
+from repro.harness.cache import RunCache
+from repro.harness.parallel import RunFailure
+from repro.harness.runner import RunSpec
+from repro.service.specs import (
+    BadRequest,
+    failure_payload,
+    job_key,
+    parse_request,
+    result_payload,
+    spec_key,
+    stall_summary,
+)
+
+
+class TestParseRequest:
+    def test_explicit_runs(self):
+        specs = parse_request({"runs": [
+            {"app": "MM", "design": "base"},
+            {"app": "MM", "design": "caba", "algorithm": "fpc"},
+        ]})
+        assert [s.design.name for s in specs] == ["Base", "CABA-FPC"]
+        assert all(s.app == "MM" for s in specs)
+        assert all(s.config == GPUConfig.small() for s in specs)
+
+    def test_sweep_cross_product(self):
+        specs = parse_request({"sweep": {
+            "apps": ["MM", "PVC"], "designs": ["base", "caba"],
+        }})
+        assert [(s.app, s.design.name) for s in specs] == [
+            ("MM", "Base"), ("MM", "CABA-BDI"),
+            ("PVC", "Base"), ("PVC", "CABA-BDI"),
+        ]
+
+    def test_duplicates_collapse(self):
+        specs = parse_request({"runs": [
+            {"app": "MM", "design": "base"},
+            {"app": "MM", "design": "base"},
+        ]})
+        assert len(specs) == 1
+
+    def test_exact_by_default_even_under_ambient_sampling(self, monkeypatch):
+        # A shared server must not let the server process's REPRO_SAMPLE
+        # change what a tenant's submission means.
+        monkeypatch.setenv("REPRO_SAMPLE", "1")
+        (spec,) = parse_request({"runs": [{"app": "MM", "design": "base"}]})
+        assert spec.sample is None
+
+    def test_sample_opt_in(self):
+        (spec,) = parse_request({"runs": [
+            {"app": "MM", "design": "base", "sample": "50:100:800"},
+        ]})
+        assert spec.sample == SampleConfig(warmup=50, measure=100, skip=800)
+        (spec,) = parse_request({"runs": [
+            {"app": "MM", "design": "base", "sample": True},
+        ]})
+        assert spec.sample == SampleConfig()
+
+    def test_bandwidth_scale(self):
+        (spec,) = parse_request({"runs": [
+            {"app": "MM", "design": "base", "bandwidth_scale": 2.0},
+        ]})
+        assert spec.config == GPUConfig.small().with_bandwidth_scale(2.0)
+
+    @pytest.mark.parametrize("payload", [
+        None,
+        [],
+        {},                                       # neither runs nor sweep
+        {"runs": [], "sweep": {"apps": ["MM"]}},  # both
+        {"runs": []},
+        {"runs": ["MM"]},
+        {"runs": [{"design": "base"}]},           # no app
+        {"runs": [{"app": "NOPE"}]},
+        {"runs": [{"app": "MM", "design": "warp-drive"}]},
+        {"runs": [{"app": "MM", "algorithm": "nope"}]},
+        {"runs": [{"app": "MM", "config": "huge"}]},
+        {"runs": [{"app": "MM", "bandwidth_scale": -1}]},
+        {"runs": [{"app": "MM", "sample": "a:b:c"}]},
+        {"runs": [{"app": "MM", "frobnicate": 1}]},
+        {"sweep": {"designs": ["base"]}},         # no apps
+        {"sweep": {"apps": []}},
+    ])
+    def test_bad_payloads(self, payload):
+        with pytest.raises(BadRequest):
+            parse_request(payload)
+
+
+class TestContentKeys:
+    def test_spec_key_matches_run_cache_key(self):
+        # The service's dedup and the on-disk cache must agree on what
+        # "the same run" means; both derive from stamp + canonical().
+        spec = RunSpec("MM", designs.base(), GPUConfig.small(), sample=None)
+        assert spec_key(spec) == RunCache().key(spec)
+
+    def test_job_key_is_order_insensitive(self):
+        a = RunSpec("MM", designs.base(), GPUConfig.small(), sample=None)
+        b = RunSpec("PVC", designs.base(), GPUConfig.small(), sample=None)
+        assert job_key([a, b]) == job_key([b, a])
+
+    def test_job_key_separates_different_work(self):
+        a = RunSpec("MM", designs.base(), GPUConfig.small(), sample=None)
+        b = RunSpec("PVC", designs.base(), GPUConfig.small(), sample=None)
+        assert job_key([a]) != job_key([b])
+        assert job_key([a]) != job_key([a, b])
+
+
+class TestPayloads:
+    def test_result_payload_is_json_safe(self):
+        from repro.harness.runner import run_app
+
+        run = run_app("MM", designs.base())
+        payload = result_payload(run)
+        text = json.dumps(payload, sort_keys=True)
+        assert json.loads(text)["app"] == "MM"
+        assert payload["energy"]["total"] == pytest.approx(run.energy.total)
+        assert set(payload["slot_breakdown"]) == {
+            "active", "compute_stall", "memory_stall", "data_stall", "idle",
+        }
+
+    def test_failure_payload(self):
+        spec = RunSpec("MM", designs.base(), GPUConfig.small(), sample=None)
+        failure = RunFailure(spec=spec, kind="timeout", attempts=2,
+                             exception="TimeoutError: no result")
+        payload = failure_payload(failure)
+        json.dumps(payload)
+        assert payload["app"] == "MM"
+        assert payload["design"] == "Base"
+        assert payload["kind"] == "timeout"
+
+    def test_stall_summary_empty(self):
+        assert stall_summary([]) == {}

@@ -7,9 +7,20 @@ path is exercised at reduced scale with a zero tolerance, which any
 extrapolated run violates (sampled cycle counts are approximate).
 """
 
+import pytest
+
 from repro import design as designs
+from repro.gpu.config import GPUConfig
 from repro.gpu.sampling import SampleConfig
-from repro.verify.sampling import DEFAULT_POINTS, sampling_differential
+from repro.verify.sampling import (
+    CERTIFIED_POINTS,
+    DEFAULT_POINTS,
+    UncertifiedSamplingPointError,
+    is_certified,
+    parse_point,
+    require_certified,
+    sampling_differential,
+)
 from repro.workloads.tracegen import TraceScale
 
 
@@ -24,11 +35,14 @@ def test_certified_point_passes_at_defaults():
 
 
 def test_zero_tolerance_reports_metric_deltas():
+    # Reduced scale is an uncertified machine point, so the experiment
+    # must opt out of certification explicitly.
     results = sampling_differential(
         points=(("MM", designs.base),),
         scale=TraceScale(work=0.25, waves=0.25),
         sample=SampleConfig(warmup=50, measure=100, skip=800),
         tolerance=0.0,
+        certify=False,
     )
     result = results[0]
     assert not result.passed
@@ -40,3 +54,69 @@ def test_default_matrix_shape():
     # CABA point only where the bound is calibrated (no MM-CABA-BDI).
     labels = {(app, factory().name) for app, factory in DEFAULT_POINTS}
     assert labels == {("PVC", "Base"), ("PVC", "CABA-BDI"), ("MM", "Base")}
+    assert CERTIFIED_POINTS == labels
+
+
+class TestCertification:
+    """The MM-CABA-BDI regression: the uncertified point used to pass
+    silently; it must now fail loudly, by name, when requested."""
+
+    def test_uncertified_point_fails_with_named_error(self):
+        results = sampling_differential(
+            points=(("MM", lambda: designs.caba("bdi")),),
+        )
+        assert len(results) == 1
+        result = results[0]
+        assert not result.passed
+        assert result.name == "sampling.certified.MM.CABA-BDI"
+        assert "UncertifiedSamplingPointError" in result.detail
+
+    def test_certified_and_uncertified_points_mix(self):
+        # The certified point still runs; only the uncertified one
+        # fails, and it fails without being simulated (at this scale a
+        # real MM-CABA-BDI pair would dominate the test's runtime).
+        results = sampling_differential(
+            points=(("MM", lambda: designs.caba("bdi")),
+                    ("MM", designs.base)),
+        )
+        assert [r.passed for r in results] == [False, True]
+
+    def test_is_certified_matrix(self):
+        assert is_certified("PVC", "Base")
+        assert is_certified("PVC", "CABA-BDI")
+        assert is_certified("MM", "Base")
+        assert not is_certified("MM", "CABA-BDI")
+        assert not is_certified("CONS", "Base")
+
+    def test_machine_and_scale_gate_certification(self):
+        assert not is_certified("PVC", "Base", config=GPUConfig())
+        assert not is_certified("PVC", "Base",
+                                scale=TraceScale(work=0.5))
+        with pytest.raises(UncertifiedSamplingPointError,
+                           match="machine/scale"):
+            require_certified("PVC", "Base", config=GPUConfig())
+
+    def test_require_certified_names_the_point(self):
+        with pytest.raises(UncertifiedSamplingPointError,
+                           match=r"\(MM, CABA-BDI\)"):
+            require_certified("MM", "CABA-BDI")
+        require_certified("MM", "Base")  # certified: no raise
+
+
+class TestParsePoint:
+    def test_base_and_caba_designs(self):
+        app, factory = parse_point("MM@Base")
+        assert app == "MM" and factory().name == "Base"
+        app, factory = parse_point("PVC@CABA-BDI")
+        assert app == "PVC" and factory().name == "CABA-BDI"
+
+    def test_case_insensitive(self):
+        assert parse_point("MM@base")[1]().name == "Base"
+        assert parse_point("MM@caba-fpc")[1]().name == "CABA-FPC"
+
+    @pytest.mark.parametrize("text", [
+        "MM", "MM@", "@Base", "MM@ideal-bdi", "MM@caba-nope",
+    ])
+    def test_rejects_bad_points(self, text):
+        with pytest.raises(ValueError):
+            parse_point(text)
