@@ -1,0 +1,167 @@
+#!/usr/bin/env python
+"""CI smoke for the distributed sweep fabric: real processes, one kill.
+
+Starts an in-process coordinator (fabric-mode sweep server, ephemeral
+port) plus two real ``repro worker`` subprocesses over HTTP, then:
+
+1. runs the reference sweep single-node and keeps its result bytes,
+2. submits the same sweep to the fabric against a fresh cache; worker
+   one is started with the hidden ``--stall-after 0`` failure hook, so
+   it grabs a lease and then hangs without heartbeating — and is then
+   SIGKILLed mid-sweep,
+3. asserts the coordinator expires the dead worker's lease, re-leases
+   its specs to the survivor, and completes the job with result bytes
+   **byte-identical** to the single-node run — with every simulation
+   run remotely (zero in the coordinator process) and none duplicated.
+
+Exit status is the verdict; every step prints what it proved.
+"""
+
+import argparse
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.harness import runner  # noqa: E402
+from repro.harness.parallel import ExperimentEngine  # noqa: E402
+from repro.service.client import ServiceClient  # noqa: E402
+from repro.service.fabric import FabricConfig, FabricCoordinator  # noqa: E402
+from repro.service.jobs import JobStore  # noqa: E402
+from repro.service.server import ServiceConfig, SweepServer  # noqa: E402
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def wait_until(predicate, timeout: float, what: str):
+    deadline = time.monotonic() + timeout
+    while True:
+        value = predicate()
+        if value:
+            return value
+        if time.monotonic() > deadline:
+            fail(f"timed out waiting for {what}")
+        time.sleep(0.1)
+
+
+def spawn_worker(url: str, name: str, *extra: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker", "--url", url,
+         "--name", name, "--lease-specs", "1", *extra],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True,
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--apps", nargs="+", default=["MM"])
+    parser.add_argument("--designs", nargs="+", default=["base", "caba"])
+    parser.add_argument("--lease-ttl", type=float, default=2.0,
+                        help="coordinator lease TTL (short, so the "
+                             "killed worker's lease expires quickly)")
+    args = parser.parse_args()
+    sweep = {"sweep": {"apps": args.apps, "designs": args.designs}}
+    n_specs = len(args.apps) * len(args.designs)
+
+    # --- 1. single-node reference -------------------------------------
+    os.environ["REPRO_CACHE_DIR"] = tempfile.mkdtemp(prefix="fab-single-")
+    runner.clear_caches()
+    store = JobStore(engine=ExperimentEngine(jobs=1))
+    server = SweepServer(store, ServiceConfig(host="127.0.0.1", port=0))
+    host, port = server.start_background()
+    client = ServiceClient(f"http://{host}:{port}", tenant="reference")
+    before = runner.simulation_count()
+    accepted = client.submit(sweep)
+    final = client.wait(accepted["job"], timeout=600.0)
+    if final["status"] != "done":
+        fail(f"reference sweep ended {final['status']}")
+    reference_bytes = client.result_bytes(accepted["job"])
+    reference_sims = runner.simulation_count() - before
+    server.stop()
+    store.close()
+    print(f"step 1 ok: single-node reference ran {reference_sims} "
+          f"simulations, {len(reference_bytes)} result bytes")
+
+    # --- 2. the same sweep through the fabric, fresh cache ------------
+    os.environ["REPRO_CACHE_DIR"] = tempfile.mkdtemp(prefix="fab-coord-")
+    runner.clear_caches()
+    coordinator = FabricCoordinator(FabricConfig(
+        lease_ttl=args.lease_ttl, lease_specs=1, retries=5, poll=0.2))
+    store = JobStore(engine=coordinator)
+    server = SweepServer(store, ServiceConfig(host="127.0.0.1", port=0))
+    host, port = server.start_background()
+    url = f"http://{host}:{port}"
+    print(f"coordinator: {url} (lease ttl {args.lease_ttl:g}s)")
+
+    doomed = survivor = None
+    try:
+        client = ServiceClient(url, tenant="fabric")
+        before = runner.simulation_count()
+        accepted = client.submit(sweep)
+
+        # The doomed worker leases one spec, stalls without ever
+        # heartbeating or completing, and gets SIGKILLed mid-sweep.
+        doomed = spawn_worker(url, "doomed", "--stall-after", "0")
+        wait_until(
+            lambda: client.stats()["fabric"]["leases_granted"] >= 1,
+            60.0, "the doomed worker to take a lease")
+        survivor = spawn_worker(url, "survivor", "--max-idle", "5.0")
+        doomed.send_signal(signal.SIGKILL)
+        doomed.wait(timeout=30.0)
+        print("step 2 ok: doomed worker leased a spec and was killed "
+              "mid-sweep (no heartbeat, no completion)")
+
+        # --- 3. recovery: lease expiry -> re-lease -> completion ------
+        final = client.wait(accepted["job"], timeout=600.0)
+        if final["status"] != "done":
+            fail(f"fabric sweep ended {final['status']}: {final}")
+        fabric = client.stats()["fabric"]
+        local_sims = runner.simulation_count() - before
+        if local_sims != 0:
+            fail(f"coordinator simulated {local_sims} specs locally; "
+                 "fabric mode must run everything remotely")
+        if fabric["leases_expired"] < 1:
+            fail("the dead worker's lease never expired")
+        if fabric["specs_requeued"] < 1:
+            fail("the dead worker's specs were never requeued")
+        if fabric["remote_simulated"] != n_specs:
+            fail(f"workers simulated {fabric['remote_simulated']} specs, "
+                 f"expected {n_specs} (duplicate or missing work)")
+        fabric_bytes = client.result_bytes(accepted["job"])
+        if fabric_bytes != reference_bytes:
+            fail("fabric result bytes differ from the single-node run")
+        print(f"step 3 ok: lease expired and recovered, survivor "
+              f"completed all {n_specs} specs "
+              f"({fabric['remote_simulated']} simulated remotely, "
+              f"0 locally), results byte-identical")
+
+        survivor.wait(timeout=60.0)
+        if survivor.returncode != 0:
+            print(survivor.stdout.read(), file=sys.stderr)
+            fail(f"survivor worker exited {survivor.returncode}")
+        print("step 4 ok: survivor drained, went idle, exited cleanly")
+    finally:
+        for proc in (doomed, survivor):
+            if proc is not None and proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10.0)
+        server.stop()
+        store.close()
+
+    print("fabric smoke: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

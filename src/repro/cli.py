@@ -16,6 +16,7 @@ Commands:
     bench report         render the checked-in BENCH_*.json benchmark
                          records (before/after trajectory) as tables
     serve                run the simulation-as-a-service sweep server
+    worker               join a fabric-mode server as a sweep worker
     submit               submit a run list / sweep to a sweep server
     status JOB           poll one job's progress on a sweep server
     result JOB           fetch one finished job's results as JSON
@@ -249,8 +250,32 @@ def _build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--jobs", type=_jobs_arg, default=None,
                          help="simulation worker processes "
                               "(default: REPRO_SERVE_JOBS or 1)")
+    serve_p.add_argument("--fabric", action="store_true", default=None,
+                         help="lease sweeps to remote 'repro worker' "
+                              "processes instead of simulating "
+                              "in-process (default: REPRO_FABRIC)")
 
     url_help = "server URL (default: REPRO_SERVE_URL or http://127.0.0.1:8377)"
+    worker_p = sub.add_parser(
+        "worker",
+        help="join a fabric-mode sweep server as a simulation worker",
+    )
+    worker_p.add_argument("--url", default=None, help=url_help)
+    worker_p.add_argument("--name", default=None,
+                          help="worker name for the coordinator's "
+                               "stats (default: pid<NNN>)")
+    worker_p.add_argument("--lease-specs", type=int, default=None,
+                          help="specs to request per lease (default: "
+                               "the coordinator's REPRO_FABRIC_LEASE_SPECS)")
+    worker_p.add_argument("--poll", type=float, default=None,
+                          help="idle poll interval in seconds "
+                               "(default: the coordinator's hint)")
+    worker_p.add_argument("--max-idle", type=float, default=None,
+                          help="exit after this many consecutive idle "
+                               "seconds (default: run until killed)")
+    worker_p.add_argument("--stall-after", type=int, default=None,
+                          help=argparse.SUPPRESS)  # failure-injection hook
+
     submit_p = sub.add_parser(
         "submit", help="submit runs to a sweep server"
     )
@@ -654,11 +679,22 @@ def _cmd_serve(args) -> int:
         config.port = args.port
     if args.jobs is not None:
         config.jobs = args.jobs
+    if args.fabric is not None:
+        config.fabric = args.fabric
     server = make_server(config)
     host, port = server.start_background()
     limits = config.limits
     print(f"sweep server listening on http://{host}:{port}")
-    print(f"  engine jobs      : {config.jobs}")
+    if config.fabric:
+        fabric = server.store.engine.config
+        print(f"  engine           : fabric coordinator "
+              f"(lease ttl {fabric.lease_ttl:g}s, "
+              f"{fabric.lease_specs} specs/lease, "
+              f"{fabric.retries} attempts)")
+        print(f"  workers join with: repro worker --url "
+              f"http://{host}:{port}")
+    else:
+        print(f"  engine jobs      : {config.jobs}")
     print(f"  tenant rate      : {limits.rate:g}/s "
           f"(burst {limits.burst:g})")
     print(f"  tenant queue cap : {limits.max_queued_jobs} jobs, "
@@ -675,18 +711,51 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _service_url(args) -> str:
+    import os
+
+    return args.url or os.environ.get(
+        "REPRO_SERVE_URL", "http://127.0.0.1:8377"
+    )
+
+
 def _service_client(args):
     import os
 
     from repro.service.client import ServiceClient
 
-    url = args.url or os.environ.get(
-        "REPRO_SERVE_URL", "http://127.0.0.1:8377"
-    )
     tenant = args.tenant or os.environ.get(
         "REPRO_SERVE_TENANT", "anonymous"
     )
-    return ServiceClient(url, tenant=tenant)
+    return ServiceClient(_service_url(args), tenant=tenant)
+
+
+def _cmd_worker(args) -> int:
+    from repro.service.client import ServiceError
+    from repro.service.fabric import FabricWorker
+
+    url = _service_url(args)
+    worker = FabricWorker(
+        url,
+        name=args.name,
+        lease_specs=args.lease_specs,
+        poll=args.poll,
+        max_idle=args.max_idle,
+        stall_after=args.stall_after,
+        log=lambda message: print(f"worker: {message}", flush=True),
+    )
+    try:
+        summary = worker.run()
+    except KeyboardInterrupt:
+        print("\nworker: interrupted", flush=True)
+        return 130
+    except (ServiceError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"worker: done — {summary['completed']} spec(s) "
+          f"({summary['simulated']} simulated, "
+          f"{summary['cached']} served from cache)", flush=True)
+    return 0
 
 
 def _cmd_submit(args) -> int:
@@ -774,6 +843,7 @@ _COMMANDS = {
     "check": _cmd_check,
     "bench": _cmd_bench,
     "serve": _cmd_serve,
+    "worker": _cmd_worker,
     "submit": _cmd_submit,
     "status": _cmd_status,
     "result": _cmd_result,

@@ -18,14 +18,23 @@ Layers (each importable on its own):
 * :mod:`repro.service.quota`  — token buckets and per-tenant limits
 * :mod:`repro.service.jobs`   — the job store: queue, dedup, worker,
   events
+* :mod:`repro.service.fabric` — the distributed sweep fabric: lease
+  coordinator + remote worker loop
 * :mod:`repro.service.server` — the asyncio HTTP front end
 * :mod:`repro.service.client` — the stdlib HTTP client the CLI uses
 
-CLI: ``repro serve`` runs a server; ``repro submit/status/result``
-talk to one.
+CLI: ``repro serve`` runs a server (``--fabric`` leases work to
+``repro worker`` processes); ``repro submit/status/result`` talk to
+one.
 """
 
 from repro.service.client import ServiceClient, ServiceError
+from repro.service.fabric import (
+    FabricConfig,
+    FabricCoordinator,
+    FabricError,
+    FabricWorker,
+)
 from repro.service.jobs import JobNotFinished, JobStore, UnknownJob
 from repro.service.quota import QuotaExceeded, QuotaLimits, QuotaManager
 from repro.service.server import ServiceConfig, SweepServer, make_server
@@ -33,6 +42,10 @@ from repro.service.specs import BadRequest, job_key, parse_request, spec_key
 
 __all__ = [
     "BadRequest",
+    "FabricConfig",
+    "FabricCoordinator",
+    "FabricError",
+    "FabricWorker",
     "JobNotFinished",
     "JobStore",
     "QuotaExceeded",

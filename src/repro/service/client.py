@@ -117,18 +117,55 @@ class ServiceClient:
     def wait(self, job_id: str, timeout: float = 300.0,
              poll: float = 2.0) -> dict:
         """Block (long-polling events) until the job is terminal;
-        returns the final status payload."""
+        returns the final status payload.
+
+        Raises :class:`TimeoutError` no later than ``timeout`` seconds
+        in: the per-poll long-poll budget is clamped to the remaining
+        deadline, so the last poll cannot overshoot by up to ``poll``.
+        """
         deadline = time.monotonic() + timeout
         seen = 0
         while True:
             status = self.status(job_id)
             if status["status"] in ("done", "failed"):
                 return status
-            if time.monotonic() >= deadline:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
                 raise TimeoutError(
                     f"job {job_id} still {status['status']} after "
                     f"{timeout:g}s"
                 )
-            fresh = self.events(job_id, since=seen, wait=poll)
+            fresh = self.events(job_id, since=seen,
+                                wait=min(poll, remaining))
             if fresh:
                 seen = max(e["seq"] for e in fresh)
+
+    # ------------------------------------------------------------------
+    # Fabric worker protocol (see repro.service.fabric)
+    # ------------------------------------------------------------------
+    def register_worker(self, name: str, stamp: str) -> dict:
+        return self._json("POST", "/v1/workers/register",
+                          {"name": name, "stamp": stamp})
+
+    def lease(self, worker: str, max_specs: int | None = None) -> dict:
+        payload: dict = {"worker": worker}
+        if max_specs is not None:
+            payload["max_specs"] = max_specs
+        return self._json("POST", "/v1/workers/lease", payload)
+
+    def complete(self, worker: str, lease: str,
+                 done: list[str] | None = None,
+                 failures: list[dict] | None = None,
+                 simulated: int = 0, cached: int = 0) -> dict:
+        return self._json("POST", "/v1/workers/complete", {
+            "worker": worker,
+            "lease": lease,
+            "done": done or [],
+            "failures": failures or [],
+            "simulated": simulated,
+            "cached": cached,
+        })
+
+    def heartbeat(self, worker: str) -> dict:
+        return self._json("POST", "/v1/workers/heartbeat",
+                          {"worker": worker})

@@ -1,0 +1,625 @@
+"""Distributed sweep fabric: lease-based coordination over HTTP.
+
+The single-node sweep server (PR 9) drains every work through an
+in-process :class:`~repro.harness.parallel.ExperimentEngine`. The
+fabric replaces that engine — and only that engine — with a
+:class:`FabricCoordinator` that *leases* spec batches to remote worker
+processes instead of simulating locally. Everything above it
+(:class:`~repro.service.jobs.JobStore` dedup, events, quotas) is
+unchanged, because the coordinator is engine-shaped: it implements the
+same ``run_many(specs, strict=False, on_result=..., on_failure=...)``
+/ ``close()`` surface the store already drives.
+
+Protocol (all JSON over the existing sweep server):
+
+* ``POST /v1/workers/register`` ``{name, stamp}`` — admits a worker.
+  The version stamp must match the coordinator's: a worker built from
+  different source would poison the content-addressed cache.
+* ``POST /v1/workers/lease`` ``{worker, max_specs?}`` — grants up to
+  ``max_specs`` pending specs under one lease with a TTL.
+* ``POST /v1/workers/complete`` ``{worker, lease, done, failures,
+  simulated, cached}`` — reports a lease's outcome. Results travel out
+  of band: the worker uploads each result to ``/v1/cache/runs/<key>``
+  *before* reporting the key done, so completion is just "the entry
+  exists now" and the coordinator resolves it from its own cache.
+* ``POST /v1/workers/heartbeat`` ``{worker}`` — extends the worker's
+  active leases.
+
+Failure semantics: a lease that reaches its TTL without completion
+(worker crashed, hung, or partitioned) is expired by the coordinator,
+each of its specs is charged one attempt and fed back to the pending
+queue — the retry/timeout discipline of ``harness/parallel.py``
+generalized to lost nodes. A spec that exhausts its attempt budget
+becomes a structured :class:`~repro.harness.parallel.RunFailure`
+(``kind="lease-expired"``), exactly what the store already renders.
+Because completed specs land in the shared cache keyed by content,
+re-leased and resumed sweeps coalesce onto cached entries and never
+pay for a simulation twice.
+
+Knobs (also documented in README.md):
+
+* ``REPRO_FABRIC=1`` — make ``repro serve`` fabric-mode by default.
+* ``REPRO_FABRIC_LEASE_TTL`` — lease TTL in seconds (default 30).
+* ``REPRO_FABRIC_LEASE_SPECS`` — specs per lease (default 4).
+* ``REPRO_FABRIC_RETRIES`` — attempts per spec before a structured
+  failure (default 3).
+* ``REPRO_FABRIC_POLL`` — idle worker poll interval (default 1.0s).
+"""
+
+from __future__ import annotations
+
+import base64
+import os
+import pickle
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+from repro.harness import cache as cache_mod
+from repro.harness import runner
+from repro.harness.cache import HTTPCacheBackend, version_stamp
+from repro.harness.parallel import BatchResult, RunFailure
+from repro.harness.runner import RunResult, RunSpec
+from repro.service.specs import spec_label
+
+
+class FabricError(RuntimeError):
+    """A fabric-protocol violation (unknown worker, stale lease, stamp
+    mismatch); mapped to a structured HTTP 409 by the server."""
+
+    def __init__(self, code: str, message: str) -> None:
+        self.code = code
+        super().__init__(message)
+
+
+# ----------------------------------------------------------------------
+# Spec wire format
+# ----------------------------------------------------------------------
+def encode_spec(spec: RunSpec) -> str:
+    """RunSpec -> base64 pickle. Lossless (specs carry frozen dataclass
+    trees a JSON round-trip would flatten); safe because both ends are
+    the same trusted code base — enforced by the register-time stamp
+    check, which refuses workers built from different source."""
+    return base64.b64encode(
+        pickle.dumps(spec, protocol=pickle.HIGHEST_PROTOCOL)
+    ).decode("ascii")
+
+
+def decode_spec(data: str) -> RunSpec:
+    return pickle.loads(base64.b64decode(data.encode("ascii")))
+
+
+# ----------------------------------------------------------------------
+# Configuration
+# ----------------------------------------------------------------------
+def _env_float(name: str, default: float) -> float:
+    try:
+        return float(os.environ.get(name, ""))
+    except ValueError:
+        return default
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, ""))
+    except ValueError:
+        return default
+
+
+@dataclass
+class FabricConfig:
+    lease_ttl: float = 30.0     # seconds a lease stays valid unrenewed
+    lease_specs: int = 4        # specs granted per lease
+    retries: int = 3            # attempts per spec before RunFailure
+    poll: float = 1.0           # idle-worker poll hint (seconds)
+
+    @classmethod
+    def from_env(cls) -> "FabricConfig":
+        return cls(
+            lease_ttl=max(0.1, _env_float("REPRO_FABRIC_LEASE_TTL", 30.0)),
+            lease_specs=max(1, _env_int("REPRO_FABRIC_LEASE_SPECS", 4)),
+            retries=max(1, _env_int("REPRO_FABRIC_RETRIES", 3)),
+            poll=max(0.05, _env_float("REPRO_FABRIC_POLL", 1.0)),
+        )
+
+
+def fabric_enabled() -> bool:
+    """Default for ``repro serve --fabric`` (the flag still wins)."""
+    return os.environ.get("REPRO_FABRIC", "0") == "1"
+
+
+# ----------------------------------------------------------------------
+# Coordinator state
+# ----------------------------------------------------------------------
+@dataclass
+class _Entry:
+    """One not-yet-resolved spec of the current batch."""
+
+    spec: RunSpec
+    key: str
+    attempts: int = 0
+    lease: str | None = None
+    resolved: bool = False
+    failed: bool = False
+    #: RunResult or RunFailure once terminal; ``shipped`` flips when
+    #: the drain thread has delivered it to the store callbacks.
+    outcome: object = None
+    shipped: bool = False
+
+
+@dataclass
+class _Lease:
+    id: str
+    worker: str
+    keys: list[str]
+    expires: float
+
+
+@dataclass
+class _Worker:
+    id: str
+    name: str
+    last_seen: float
+    leases_granted: int = 0
+    completed: int = 0
+
+
+class FabricCoordinator:
+    """Engine-shaped lease coordinator (``run_many``/``close``).
+
+    ``run_many`` parks unresolved specs in a pending queue and blocks
+    until remote workers drain it; ``lease``/``complete``/``heartbeat``
+    are called concurrently from the server's request threads. Lock
+    ordering: store callbacks (``on_result``/``on_failure``) are always
+    fired *outside* the coordinator lock, because they take the
+    JobStore lock — which may itself call :meth:`stats` while held.
+    """
+
+    def __init__(self, config: FabricConfig | None = None) -> None:
+        if cache_mod.get_cache() is None:
+            raise FabricError(
+                "cache-disabled",
+                "the fabric requires the persistent cache "
+                "(REPRO_CACHE=0 is set); results travel through it")
+        self.config = config or FabricConfig.from_env()
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._workers: dict[str, _Worker] = {}
+        self._leases: dict[str, _Lease] = {}
+        self._pending: deque[_Entry] = deque()
+        self._by_key: dict[str, _Entry] = {}
+        self._seq = 0
+        self._stopping = False
+        self._counters = {
+            "leases_granted": 0,
+            "leases_expired": 0,
+            "specs_requeued": 0,
+            "completed": 0,
+            "remote_simulated": 0,
+            "remote_cached": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Engine surface (called by the JobStore drain thread)
+    # ------------------------------------------------------------------
+    def run_many(self, specs, strict: bool = True,
+                 label: str | None = None,
+                 on_result=None, on_failure=None) -> BatchResult:
+        if strict:
+            raise ValueError("the fabric coordinator only runs "
+                             "strict=False batches (the JobStore's mode)")
+        ordered = list(specs)
+        unique: list[RunSpec] = []
+        seen: set[RunSpec] = set()
+        for spec in ordered:
+            if spec not in seen:
+                seen.add(spec)
+                unique.append(spec)
+
+        cache = cache_mod.get_cache()
+        results: dict[RunSpec, RunResult] = {}
+        failures: dict[RunSpec, RunFailure] = {}
+        notify: list[tuple[RunSpec, RunResult | RunFailure]] = []
+
+        with self._lock:
+            if self._by_key:
+                raise RuntimeError("a fabric batch is already active "
+                                   "(the store serializes batches)")
+            for spec in unique:
+                hit = runner.cached_result(spec)
+                if hit is not None:
+                    results[spec] = hit
+                    notify.append((spec, hit))
+                    continue
+                entry = _Entry(spec=spec, key=cache.key(spec))
+                self._by_key[entry.key] = entry
+                self._pending.append(entry)
+            self._cond.notify_all()
+        self._fire(notify, on_result, on_failure)
+
+        # Wake often enough to expire dead leases promptly even when no
+        # worker traffic arrives to do it for us.
+        tick = min(1.0, self.config.lease_ttl / 4.0)
+        while True:
+            with self._lock:
+                self._expire_locked(time.monotonic())
+                open_entries = [e for e in self._by_key.values()
+                                if not e.resolved and not e.failed]
+                if open_entries and self._stopping:
+                    for entry in open_entries:
+                        entry.failed = True
+                        entry.outcome = RunFailure(
+                            spec=entry.spec, kind="aborted",
+                            attempts=entry.attempts + 1,
+                            exception="fabric coordinator shut down "
+                                      "with the spec unresolved")
+                    open_entries = []
+                if not open_entries:
+                    harvest = self._harvest_locked()
+                    self._by_key.clear()
+                    self._pending.clear()
+                    self._leases.clear()
+                else:
+                    self._cond.wait(timeout=tick)
+                    harvest = self._harvest_locked()
+                done = not open_entries
+            self._fire(harvest, on_result, on_failure)
+            for spec, outcome in harvest:
+                if isinstance(outcome, RunFailure):
+                    failures[spec] = outcome
+                else:
+                    results[spec] = outcome
+            if done:
+                break
+
+        aligned = [results.get(spec) for spec in ordered]
+        return BatchResult(results=aligned,
+                           failures=list(failures.values()))
+
+    def close(self) -> None:
+        self.abort()
+
+    def abort(self) -> None:
+        """Fail any unresolved specs and wake a blocked ``run_many``
+        (called by ``JobStore.close`` before joining its drain)."""
+        with self._lock:
+            self._stopping = True
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Worker protocol (called from server request threads)
+    # ------------------------------------------------------------------
+    def register(self, name: str, stamp: str) -> dict:
+        if stamp != version_stamp():
+            raise FabricError(
+                "stamp-mismatch",
+                f"worker stamp {stamp!r} != coordinator stamp "
+                f"{version_stamp()!r}; the worker is running different "
+                "source and would poison the content-addressed cache")
+        with self._lock:
+            self._seq += 1
+            worker = _Worker(id=f"w{self._seq}-{name}", name=name,
+                             last_seen=time.monotonic())
+            self._workers[worker.id] = worker
+        return {
+            "worker": worker.id,
+            "lease_ttl": self.config.lease_ttl,
+            "lease_specs": self.config.lease_specs,
+            "poll": self.config.poll,
+        }
+
+    def lease(self, worker_id: str, max_specs: int | None = None) -> dict:
+        now = time.monotonic()
+        with self._lock:
+            worker = self._worker_locked(worker_id, now)
+            self._expire_locked(now)
+            budget = max_specs or self.config.lease_specs
+            granted: list[_Entry] = []
+            while self._pending and len(granted) < budget:
+                entry = self._pending.popleft()
+                if entry.resolved or entry.failed or entry.lease:
+                    continue  # stale queue entry from a double requeue
+                granted.append(entry)
+            if not granted:
+                return {"lease": None, "specs": []}
+            self._seq += 1
+            lease = _Lease(id=f"l{self._seq}", worker=worker_id,
+                           keys=[e.key for e in granted],
+                           expires=now + self.config.lease_ttl)
+            self._leases[lease.id] = lease
+            for entry in granted:
+                entry.lease = lease.id
+            worker.leases_granted += 1
+            self._counters["leases_granted"] += 1
+            return {
+                "lease": lease.id,
+                "ttl": self.config.lease_ttl,
+                "specs": [
+                    {"key": e.key, "label": spec_label(e.spec),
+                     "spec": encode_spec(e.spec)}
+                    for e in granted
+                ],
+            }
+
+    def complete(self, worker_id: str, lease_id: str,
+                 done: list[str], failures: list[dict],
+                 simulated: int = 0, cached: int = 0) -> dict:
+        now = time.monotonic()
+        with self._lock:
+            worker = self._worker_locked(worker_id, now)
+            lease = self._leases.pop(lease_id, None)
+            if lease is None or lease.worker != worker_id:
+                # The lease already expired (its specs are requeued or
+                # re-resolved elsewhere). The worker's uploads are still
+                # in the cache, so nothing is lost — whoever holds the
+                # re-lease finds the entries and reports them cached.
+                raise FabricError(
+                    "stale-lease",
+                    f"lease {lease_id!r} is not active for "
+                    f"{worker_id!r} (expired and requeued?)")
+            self._counters["remote_simulated"] += max(0, int(simulated))
+            self._counters["remote_cached"] += max(0, int(cached))
+            reported: set[str] = set()
+            for key in done:
+                reported.add(key)
+                entry = self._by_key.get(key)
+                if entry is None or entry.resolved or entry.failed:
+                    continue
+                entry.lease = None
+                result = runner.cached_result(entry.spec)
+                if result is None:
+                    # Claimed done but the upload never landed: treat
+                    # as a lost attempt, never as silent success.
+                    self._charge_attempt_locked(
+                        entry, kind="upload-missing",
+                        detail="worker reported the spec done but its "
+                               "result is absent from the cache")
+                    continue
+                entry.resolved = True
+                entry.outcome = result
+                worker.completed += 1
+                self._counters["completed"] += 1
+            for failure in failures:
+                key = str(failure.get("key", ""))
+                reported.add(key)
+                entry = self._by_key.get(key)
+                if entry is None or entry.resolved or entry.failed:
+                    continue
+                entry.lease = None
+                self._charge_attempt_locked(
+                    entry, kind=str(failure.get("kind", "error")),
+                    detail=str(failure.get("exception", "worker error")))
+            # Leased specs the worker did not report at all (e.g. it
+            # was told to stop mid-batch) go straight back to pending
+            # without burning an attempt — nothing ran.
+            for key in lease.keys:
+                if key in reported:
+                    continue
+                entry = self._by_key.get(key)
+                if entry is not None and not entry.resolved \
+                        and not entry.failed and entry.lease == lease.id:
+                    entry.lease = None
+                    self._pending.append(entry)
+                    self._counters["specs_requeued"] += 1
+            self._cond.notify_all()
+        return {"ok": True}
+
+    def heartbeat(self, worker_id: str) -> dict:
+        now = time.monotonic()
+        with self._lock:
+            worker = self._worker_locked(worker_id, now)
+            extended = 0
+            for lease in self._leases.values():
+                if lease.worker == worker_id:
+                    lease.expires = now + self.config.lease_ttl
+                    extended += 1
+        return {"ok": True, "extended": extended,
+                "worker": worker.id}
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                **self._counters,
+                "workers": len(self._workers),
+                "active_leases": len(self._leases),
+                "pending_specs": len(self._pending),
+                "lease_ttl": self.config.lease_ttl,
+            }
+
+    # ------------------------------------------------------------------
+    # Internals (all *_locked require self._lock)
+    # ------------------------------------------------------------------
+    def _worker_locked(self, worker_id: str, now: float) -> _Worker:
+        worker = self._workers.get(worker_id)
+        if worker is None:
+            raise FabricError("unknown-worker",
+                              f"worker {worker_id!r} is not registered")
+        worker.last_seen = now
+        return worker
+
+    def _charge_attempt_locked(self, entry: _Entry, kind: str,
+                               detail: str) -> None:
+        entry.attempts += 1
+        if entry.attempts >= self.config.retries:
+            entry.failed = True
+            entry.outcome = RunFailure(
+                spec=entry.spec, kind=kind, attempts=entry.attempts,
+                exception=detail)
+        else:
+            self._pending.append(entry)
+            self._counters["specs_requeued"] += 1
+
+    def _expire_locked(self, now: float) -> None:
+        for lease_id in [lid for lid, lease in self._leases.items()
+                         if lease.expires <= now]:
+            lease = self._leases.pop(lease_id)
+            self._counters["leases_expired"] += 1
+            for key in lease.keys:
+                entry = self._by_key.get(key)
+                if entry is None or entry.resolved or entry.failed \
+                        or entry.lease != lease_id:
+                    continue
+                entry.lease = None
+                self._charge_attempt_locked(
+                    entry, kind="lease-expired",
+                    detail=f"lease {lease_id} on worker "
+                           f"{lease.worker} reached its TTL "
+                           f"({self.config.lease_ttl:g}s) unrenewed")
+            self._cond.notify_all()
+
+    def _harvest_locked(self) -> list[tuple[RunSpec, object]]:
+        """Collect outcomes recorded since the last harvest (request
+        threads only mark entries; the drain thread ships them)."""
+        out = []
+        for entry in self._by_key.values():
+            if entry.outcome is not None and not entry.shipped:
+                entry.shipped = True
+                out.append((entry.spec, entry.outcome))
+        return out
+
+    @staticmethod
+    def _fire(outcomes, on_result, on_failure) -> None:
+        for spec, outcome in outcomes:
+            if isinstance(outcome, RunFailure):
+                if on_failure is not None:
+                    on_failure(outcome)
+            else:
+                if on_result is not None:
+                    on_result(spec, outcome)
+
+
+# ----------------------------------------------------------------------
+# Worker loop (the `repro worker` command)
+# ----------------------------------------------------------------------
+class FabricWorker:
+    """One worker process: register, lease, simulate, upload, repeat.
+
+    Results are written to the coordinator's cache via the HTTP
+    backend *before* the lease is reported complete, so a crash
+    between upload and completion wastes nothing — the re-leased spec
+    is found in the cache and reported ``cached``. Local runs use
+    ``persist=False``: the worker's only durable store is the
+    coordinator's, keeping every node's view of "already paid for"
+    identical.
+    """
+
+    def __init__(self, url: str, name: str | None = None,
+                 lease_specs: int | None = None,
+                 poll: float | None = None,
+                 max_idle: float | None = None,
+                 stall_after: int | None = None,
+                 log=None) -> None:
+        # Imported here (not module top) so the harness layer's
+        # cache module never has to import service code.
+        from repro.service.client import ServiceClient
+        self.client = ServiceClient(url, tenant=f"worker-{name or os.getpid()}")
+        self.backend = HTTPCacheBackend(url)
+        self.name = name or f"pid{os.getpid()}"
+        self.lease_specs = lease_specs
+        self.poll = poll
+        self.max_idle = max_idle
+        #: Test hook: stall (hold the current lease, stop heartbeating,
+        #: sleep forever) after completing this many specs — makes
+        #: kill-recovery deterministic in the smoke lane.
+        self.stall_after = stall_after
+        self._log = log or (lambda message: None)
+        self._stalled = threading.Event()
+        self._stop = threading.Event()
+        self.completed = 0
+        self.simulated = 0
+        self.cached = 0
+
+    def stop(self) -> None:
+        """Ask the loop to exit after the current lease."""
+        self._stop.set()
+
+    def run(self) -> dict:
+        """Blocking worker loop; returns its counters on clean exit."""
+        grant = self.client.register_worker(self.name, version_stamp())
+        worker_id = grant["worker"]
+        ttl = float(grant["lease_ttl"])
+        poll = self.poll if self.poll is not None else float(grant["poll"])
+        self._log(f"registered as {worker_id} (ttl {ttl:g}s)")
+
+        beat = threading.Thread(
+            target=self._heartbeat, args=(worker_id, ttl),
+            name=f"repro-worker-heartbeat-{self.name}", daemon=True)
+        beat.start()
+
+        idle = 0.0
+        while not self._stop.is_set():
+            lease = self.client.lease(worker_id, self.lease_specs)
+            if not lease["specs"]:
+                if self.max_idle is not None and idle >= self.max_idle:
+                    break
+                time.sleep(poll)
+                idle += poll
+                continue
+            idle = 0.0
+            self._run_lease(worker_id, lease)
+        self._stop.set()
+        return {"worker": worker_id, "completed": self.completed,
+                "simulated": self.simulated, "cached": self.cached}
+
+    # ------------------------------------------------------------------
+    def _run_lease(self, worker_id: str, lease: dict) -> None:
+        from repro.service.client import ServiceError
+        done: list[str] = []
+        failures: list[dict] = []
+        simulated = cached = 0
+        for item in lease["specs"]:
+            if self.stall_after is not None \
+                    and self.completed >= self.stall_after:
+                self._log("stalling (test hook): holding lease "
+                          f"{lease['lease']} without completing")
+                self._stalled.set()  # silences the heartbeat too
+                while True:
+                    time.sleep(3600.0)
+            key = item["key"]
+            spec = decode_spec(item["spec"])
+            if self.backend.has("runs", key):
+                # Another node (or a previous life of this lease)
+                # already paid for this spec.
+                cached += 1
+                done.append(key)
+                self.completed += 1
+                continue
+            try:
+                result = runner.run_spec(spec, persist=False)
+                data = pickle.dumps(result,
+                                    protocol=pickle.HIGHEST_PROTOCOL)
+                self.backend.put("runs", key, data)
+            except Exception as exc:
+                failures.append({"key": key, "kind": "error",
+                                 "exception": repr(exc)})
+                continue
+            simulated += 1
+            done.append(key)
+            self.completed += 1
+            self._log(f"ran {item['label']} ({key[:12]})")
+        self.simulated += simulated
+        self.cached += cached
+        try:
+            self.client.complete(worker_id, lease["lease"],
+                                 done=done, failures=failures,
+                                 simulated=simulated, cached=cached)
+        except ServiceError as exc:
+            if exc.code != "stale-lease":
+                raise
+            # Our lease expired under us (e.g. a long simulation
+            # outlived the TTL without a heartbeat landing). The
+            # uploads are in the cache; the re-leaseholder will report
+            # them cached. Keep going.
+            self._log(f"lease {lease['lease']} went stale before "
+                      "completion; results remain in the cache")
+
+    def _heartbeat(self, worker_id: str, ttl: float) -> None:
+        interval = max(0.05, ttl / 3.0)
+        while not self._stop.wait(interval):
+            if self._stalled.is_set():
+                return
+            try:
+                self.client.heartbeat(worker_id)
+            except Exception:
+                pass  # transient; the next beat (or lease) retries

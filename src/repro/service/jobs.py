@@ -33,6 +33,7 @@ enough to record an event.
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass, field
 
@@ -318,15 +319,31 @@ class JobStore:
     def events(self, job_id: str, since: int = 0,
                wait: float = 0.0) -> list[dict]:
         """Events with ``seq > since``; blocks up to ``wait`` seconds
-        for fresh ones (long-poll). Terminal works return immediately."""
+        for fresh ones (long-poll). Terminal works return immediately.
+
+        The condition variable is shared by every work, so a wake may
+        have been caused by an *unrelated* job's event — hence the
+        loop: re-check and keep waiting out the remaining budget
+        instead of returning empty early (which would degrade every
+        long-poll to a short-poll under multi-tenant load).
+        """
+        # Seqs are contiguous from 1, so the events newer than `since`
+        # are exactly the tail slice — no full-list rescan per poll.
+        # Clamp below zero: a negative slice index would mean
+        # "last N events", not "everything after seq N".
+        since = max(0, since)
+        deadline = time.monotonic() + wait
         with self._lock:
             job = self._job(job_id)
             work = job.work
-            fresh = [e for e in work.events if e["seq"] > since]
-            if fresh or wait <= 0 or work.terminal:
-                return list(fresh)
-            self._changed.wait(timeout=wait)
-            return [e for e in work.events if e["seq"] > since]
+            while True:
+                fresh = work.events[since:]
+                if fresh or work.terminal:
+                    return list(fresh)
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return []
+                self._changed.wait(timeout=remaining)
 
     def stats(self) -> dict:
         """Service-wide counters for ``GET /v1/stats``."""
@@ -337,7 +354,7 @@ class JobStore:
             served: dict[str, int] = {}
             for job in self._jobs.values():
                 served[job.served_from] = served.get(job.served_from, 0) + 1
-            return {
+            payload = {
                 "jobs": len(self._jobs),
                 "served_from": served,
                 "works": by_status,
@@ -345,6 +362,10 @@ class JobStore:
                 "simulations": runner.simulation_count(),
                 "tenants": self.quota.snapshot(),
             }
+            engine_stats = getattr(self.engine, "stats", None)
+            if engine_stats is not None:
+                payload["fabric"] = engine_stats()
+            return payload
 
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -356,6 +377,12 @@ class JobStore:
         with self._lock:
             self._stopping = True
             self._changed.notify_all()
+        # A fabric coordinator may be parked inside run_many waiting
+        # for remote workers that will never come; wake it so the
+        # drain thread can exit before the join below.
+        abort = getattr(self.engine, "abort", None)
+        if abort is not None:
+            abort()
         self._worker.join(timeout=60.0)
         self.engine.close()
 

@@ -97,6 +97,13 @@ class QuotaLimits:
     burst: float = 20.0         # token-bucket capacity
     max_queued_jobs: int = 16   # queued (not yet running) jobs
     max_inflight_specs: int = 256  # specs queued + running
+    #: Retry-After hint (seconds) for backlog rejections (queue-full /
+    #: inflight-full). Unlike rate limiting there is no bucket to
+    #: compute an exact refill time from — draining depends on how long
+    #: the queued simulations take — so advertise the client's default
+    #: poll interval: the earliest moment a well-behaved client would
+    #: learn its backlog shrank anyway.
+    backlog_retry_after: float = 2.0
 
 
 class QuotaManager:
@@ -145,6 +152,7 @@ class QuotaManager:
                     f"tenant {tenant!r} already has "
                     f"{state.queued_jobs} queued job(s) "
                     f"(max {limits.max_queued_jobs})",
+                    retry_after=limits.backlog_retry_after,
                 )
             if state.inflight_specs + n_specs > limits.max_inflight_specs:
                 state.rejected += 1
@@ -153,6 +161,7 @@ class QuotaManager:
                     f"tenant {tenant!r} would hold "
                     f"{state.inflight_specs + n_specs} in-flight "
                     f"spec(s) (max {limits.max_inflight_specs})",
+                    retry_after=limits.backlog_retry_after,
                 )
             state.queued_jobs += 1
             state.inflight_specs += n_specs

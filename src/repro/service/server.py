@@ -21,13 +21,25 @@ are byte-for-byte identical):
 * ``GET  /v1/jobs/<id>/events``      seq-numbered events; ``?since=N``
                                      resumes, ``&wait=S`` long-polls
 
+Distributed-fabric extensions (see :mod:`repro.service.fabric`):
+
+* ``GET/HEAD/PUT /v1/cache/<kind>/<key>`` — raw-bytes access to the
+  coordinator's content-addressed cache (``kind`` is ``runs`` /
+  ``planes`` / ``traces``); ``GET /v1/cache/<kind>`` lists keys. 404
+  ``cache-disabled`` when the persistent cache is off.
+* ``POST /v1/workers/register|lease|complete|heartbeat`` — the work-
+  leasing protocol; 404 ``fabric-disabled`` unless the store's engine
+  is a :class:`~repro.service.fabric.FabricCoordinator`
+  (``repro serve --fabric``). Protocol violations are structured 409s.
+
 The tenant is the ``X-Tenant`` header (or ``"tenant"`` in the POST
 body; header wins), defaulting to ``"anonymous"`` — an accounting
 identity for quotas, not authentication.
 
 Knobs (``ServiceConfig.from_env``; also in README.md): REPRO_SERVE_HOST,
 REPRO_SERVE_PORT, REPRO_SERVE_JOBS, REPRO_SERVE_RATE, REPRO_SERVE_BURST,
-REPRO_SERVE_MAX_QUEUED, REPRO_SERVE_MAX_INFLIGHT.
+REPRO_SERVE_MAX_QUEUED, REPRO_SERVE_MAX_INFLIGHT, and the
+``REPRO_FABRIC*`` set.
 """
 
 from __future__ import annotations
@@ -39,7 +51,10 @@ import threading
 from dataclasses import dataclass
 from urllib.parse import parse_qs, urlsplit
 
+from repro.harness import cache as cache_mod
+from repro.harness.cache import valid_cache_key
 from repro.harness.parallel import ExperimentEngine
+from repro.service.fabric import FabricCoordinator, FabricError
 from repro.service.jobs import JobNotFinished, JobStore, UnknownJob
 from repro.service.quota import QuotaExceeded, QuotaLimits
 from repro.service.specs import BadRequest
@@ -73,6 +88,9 @@ class ServiceConfig:
     port: int = 8377
     #: Simulation worker processes per sweep (1 = in-process serial).
     jobs: int = 1
+    #: Lease work to remote `repro worker` processes instead of
+    #: simulating in-process (REPRO_FABRIC=1 or `repro serve --fabric`).
+    fabric: bool = False
     limits: QuotaLimits = None
 
     def __post_init__(self) -> None:
@@ -81,10 +99,12 @@ class ServiceConfig:
 
     @classmethod
     def from_env(cls) -> "ServiceConfig":
+        from repro.service.fabric import fabric_enabled
         return cls(
             host=os.environ.get("REPRO_SERVE_HOST", "127.0.0.1"),
             port=_env_int("REPRO_SERVE_PORT", 8377),
             jobs=max(1, _env_int("REPRO_SERVE_JOBS", 1)),
+            fabric=fabric_enabled(),
             limits=QuotaLimits(
                 rate=_env_float("REPRO_SERVE_RATE", QuotaLimits.rate),
                 burst=_env_float("REPRO_SERVE_BURST", QuotaLimits.burst),
@@ -117,6 +137,21 @@ def _response(status: int, payload: dict,
     for name, value in (extra_headers or {}).items():
         headers.append(f"{name}: {value}")
     return "\r\n".join(headers).encode() + b"\r\n\r\n" + body
+
+
+def _raw_response(status: int, body: bytes = b"",
+                  content_type: str = "application/octet-stream",
+                  head: bool = False) -> bytes:
+    """A non-JSON response (cache entry bytes; empty HEAD replies).
+    ``head`` advertises the length without sending the body."""
+    headers = [
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    prefix = "\r\n".join(headers).encode() + b"\r\n\r\n"
+    return prefix if head else prefix + body
 
 
 def _error(status: int, code: str, message: str, **fields) -> bytes:
@@ -233,7 +268,104 @@ class SweepServer:
                 return _error(404, "unknown-job", str(exc))
             except JobNotFinished as exc:
                 return _error(409, "not-finished", str(exc))
+        if path.startswith("/v1/cache/"):
+            return await self._cache(method, path[len("/v1/cache/"):],
+                                     query, body)
+        if path.startswith("/v1/workers/"):
+            if method != "POST":
+                return _error(405, "method-not-allowed",
+                              f"{method} not allowed on {path}")
+            return await self._fabric(path[len("/v1/workers/"):], body)
         return _error(404, "not-found", f"no route for {method} {path}")
+
+    # ------------------------------------------------------------------
+    # Fabric: shared cache + work leasing
+    # ------------------------------------------------------------------
+    async def _cache(self, method: str, rest: str,
+                     query: dict, body: bytes) -> bytes:
+        cache = cache_mod.get_cache()
+        if cache is None:
+            return _error(404, "cache-disabled",
+                          "the persistent cache is disabled on this "
+                          "server (REPRO_CACHE=0)")
+        kind, _, key = rest.partition("/")
+        if not key:
+            if method != "GET" or kind not in cache_mod.CACHE_KINDS:
+                return _error(404, "not-found",
+                              f"no cache listing for {kind!r}")
+            keys = await self._call(cache.backend.list, kind)
+            return _response(200, {"kind": kind, "keys": keys})
+        if not valid_cache_key(kind, key):
+            return _error(400, "bad-key",
+                          f"malformed cache address {kind}/{key}")
+        if method == "GET":
+            data = await self._call(cache.backend.get, kind, key)
+            if data is None:
+                return _raw_response(404)
+            return _raw_response(200, data)
+        if method == "HEAD":
+            present = await self._call(cache.backend.has, kind, key)
+            return _raw_response(200 if present else 404, head=True)
+        if method == "PUT":
+            overwrite = query.get("overwrite", ["0"])[0] == "1"
+            await self._call(
+                lambda: cache.backend.put(kind, key, body,
+                                          overwrite=overwrite)
+            )
+            return _response(200, {"kind": kind, "key": key,
+                                   "bytes": len(body)})
+        return _error(405, "method-not-allowed",
+                      f"{method} not allowed on cache entries")
+
+    async def _fabric(self, action: str, body: bytes) -> bytes:
+        engine = self.store.engine
+        if not hasattr(engine, "lease"):
+            return _error(404, "fabric-disabled",
+                          "this server runs sweeps in-process; start "
+                          "it with 'repro serve --fabric' to lease "
+                          "work to remote workers")
+        try:
+            payload = json.loads(body.decode() or "null")
+        except ValueError as exc:
+            return _error(400, "bad-json", f"request body is not JSON: {exc}")
+        if not isinstance(payload, dict):
+            return _error(400, "bad-request", "expected a JSON object")
+        try:
+            if action == "register":
+                return _response(200, await self._call(
+                    engine.register,
+                    str(payload.get("name", "anonymous")),
+                    str(payload.get("stamp", "")),
+                ))
+            if action == "lease":
+                max_specs = payload.get("max_specs")
+                return _response(200, await self._call(
+                    lambda: engine.lease(
+                        str(payload.get("worker", "")),
+                        int(max_specs) if max_specs is not None else None,
+                    )
+                ))
+            if action == "complete":
+                return _response(200, await self._call(
+                    lambda: engine.complete(
+                        str(payload.get("worker", "")),
+                        str(payload.get("lease", "")),
+                        done=[str(k) for k in payload.get("done", [])],
+                        failures=[f for f in payload.get("failures", [])
+                                  if isinstance(f, dict)],
+                        simulated=int(payload.get("simulated", 0)),
+                        cached=int(payload.get("cached", 0)),
+                    )
+                ))
+            if action == "heartbeat":
+                return _response(200, await self._call(
+                    engine.heartbeat, str(payload.get("worker", ""))
+                ))
+        except FabricError as exc:
+            return _error(409, exc.code, str(exc))
+        except (TypeError, ValueError) as exc:
+            return _error(400, "bad-request", str(exc))
+        return _error(404, "not-found", f"no fabric action {action!r}")
 
     async def _call(self, fn, *args):
         """Run a (briefly) blocking store call off the event loop."""
@@ -341,8 +473,13 @@ class SweepServer:
 
 
 def make_server(config: ServiceConfig | None = None) -> SweepServer:
-    """A server over a fresh store built from ``config``."""
+    """A server over a fresh store built from ``config``. With
+    ``config.fabric`` the store's engine is a lease coordinator and
+    sweeps wait for remote ``repro worker`` processes."""
     config = config or ServiceConfig.from_env()
-    store = JobStore(engine=ExperimentEngine(jobs=config.jobs),
-                     limits=config.limits)
+    if config.fabric:
+        engine = FabricCoordinator()
+    else:
+        engine = ExperimentEngine(jobs=config.jobs)
+    store = JobStore(engine=engine, limits=config.limits)
     return SweepServer(store, config)

@@ -1,0 +1,78 @@
+"""ServiceClient deadline discipline, tested against a fake clock and
+a stubbed transport — no sockets, no sleeping."""
+
+import types
+
+import pytest
+
+import repro.service.client as client_mod
+from repro.service.client import ServiceClient
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def monotonic(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class StubClient(ServiceClient):
+    """Overrides the HTTP layer: the job never finishes, and every
+    events long-poll records the wait it was asked for, then consumes
+    exactly that much fake time (a long-poll that times out empty)."""
+
+    def __init__(self, clock: FakeClock) -> None:
+        super().__init__("http://127.0.0.1:1")
+        self.clock = clock
+        self.waits: list[float] = []
+
+    def status(self, job_id: str) -> dict:
+        return {"status": "running"}
+
+    def events(self, job_id: str, since: int = 0,
+               wait: float = 0.0) -> list[dict]:
+        self.waits.append(wait)
+        self.clock.advance(wait)
+        return []
+
+
+@pytest.fixture
+def clock(monkeypatch):
+    clock = FakeClock()
+    monkeypatch.setattr(
+        client_mod, "time",
+        types.SimpleNamespace(monotonic=clock.monotonic),
+    )
+    return clock
+
+
+class TestWaitDeadline:
+    def test_final_poll_is_clamped_to_remaining_budget(self, clock):
+        """Regression: ``wait(timeout=5, poll=2)`` used to issue three
+        full 2s long-polls and raise at t=6 — overshooting the caller's
+        deadline by up to one poll interval. The last poll must shrink
+        to the 1s that is actually left."""
+        client = StubClient(clock)
+        with pytest.raises(TimeoutError):
+            client.wait("j1", timeout=5.0, poll=2.0)
+        assert client.waits == [2.0, 2.0, 1.0]
+        assert clock.now == 5.0
+
+    def test_raises_without_an_extra_poll_at_exact_deadline(self, clock):
+        """When the budget divides evenly into polls, the deadline
+        check after the last poll raises before a fourth is issued."""
+        client = StubClient(clock)
+        with pytest.raises(TimeoutError):
+            client.wait("j1", timeout=6.0, poll=2.0)
+        assert client.waits == [2.0, 2.0, 2.0]
+        assert clock.now == 6.0
+
+    def test_terminal_status_short_circuits(self, clock):
+        client = StubClient(clock)
+        client.status = lambda job_id: {"status": "done"}
+        assert client.wait("j1", timeout=5.0)["status"] == "done"
+        assert client.waits == []

@@ -161,6 +161,55 @@ class TestEvents:
         opener.join()
         assert fresh  # woke with new events, not an empty timeout
 
+    def test_unrelated_job_event_does_not_steal_long_poll(
+            self, gated_store, gate_engine):
+        """Regression: the condition variable is shared by all works,
+        so another job's event wakes every parked long-poll. A wake for
+        job B must not end job A's poll early with an empty list — it
+        has to re-check and keep waiting out its budget."""
+        job_a = gated_store.submit("alice", PAYLOAD)
+        wait_until(lambda: gate_engine.calls == 1)
+        since = max(e["seq"] for e in gated_store.events(job_a.id))
+        # At ~0.05s job B's submission appends a "queued" event (and
+        # notifies the shared condition); A's real progress only
+        # arrives when the gate opens at ~0.4s.
+        stealer = threading.Timer(
+            0.05, lambda: gated_store.submit("bob", OTHER))
+        opener = threading.Timer(0.4, gate_engine.gate.set)
+        stealer.start()
+        opener.start()
+        start = time.monotonic()
+        fresh = gated_store.events(job_a.id, since=since, wait=10.0)
+        elapsed = time.monotonic() - start
+        stealer.join()
+        opener.join()
+        assert fresh, "poll returned empty (stolen by job B's wake)"
+        assert all(e["seq"] > since for e in fresh)
+        # With the single-wait bug the poll returns at ~0.05s; the loop
+        # keeps it parked until A's own events exist.
+        assert elapsed >= 0.3
+
+    def test_since_slice_matches_filter_semantics(self, store):
+        """``events(since=N)`` is implemented as a tail slice (seqs are
+        contiguous from 1); pin that it equals filtering the full log
+        by ``seq > N`` for every interesting N, including out-of-range
+        and negative values."""
+        job = store.submit("alice", PAYLOAD)
+        wait_until(lambda: store.status(job.id)["status"] == "done")
+        # Grow the log well past the real events so the slice has a
+        # long tail to get wrong.
+        with store._lock:
+            work = store._jobs[job.id].work
+            for _ in range(500):
+                store._event(work, "spec-done", spec="synthetic")
+        events = store.events(job.id)
+        assert [e["seq"] for e in events] == \
+            list(range(1, len(events) + 1))
+        for since in (0, 1, 7, len(events) - 1, len(events),
+                      len(events) + 13, -5):
+            expected = [e for e in events if e["seq"] > since]
+            assert store.events(job.id, since=since) == expected
+
 
 class TestQuotaIntegration:
     def test_rejection_does_not_disturb_other_tenant(self, gated_store,

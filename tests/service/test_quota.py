@@ -94,6 +94,12 @@ class TestQuotaManager:
         with pytest.raises(QuotaExceeded) as exc_info:
             manager.admit("alice", 1)
         assert exc_info.value.code == "queue-full"
+        # Backlog rejections must carry a Retry-After hint too, or the
+        # server would emit a 429 with no guidance (the rate-limited
+        # path always had one).
+        assert exc_info.value.retry_after == \
+            manager.limits.backlog_retry_after
+        assert exc_info.value.retry_after > 0
         # Releasing the queue slot makes room again.
         manager.release_queued("alice")
         manager.admit("alice", 1)
@@ -105,6 +111,9 @@ class TestQuotaManager:
         with pytest.raises(QuotaExceeded) as exc_info:
             manager.admit("alice", 2)
         assert exc_info.value.code == "inflight-full"
+        assert exc_info.value.retry_after == \
+            manager.limits.backlog_retry_after
+        assert exc_info.value.retry_after > 0
         manager.admit("alice", 1)  # 4 + 1 == 5 still fits
 
     def test_rejection_reserves_nothing(self):

@@ -183,6 +183,56 @@ class TestStructuredErrors:
             ServiceClient(url)._json("GET", "/v1/jobs")
         assert exc_info.value.status == 405
 
+    def test_429_matrix_carries_retry_after_header(self, url, server,
+                                                   completed):
+        """All three quota rejection codes map their hint to a real
+        ``Retry-After`` header (regression: ``queue-full`` and
+        ``inflight-full`` used to omit ``retry_after``, so only the
+        rate-limited 429 carried the header)."""
+        import http.client
+
+        saved = server.store.quota.limits
+        cases = {
+            "rate-limited": QuotaLimits(
+                rate=1e-9, burst=1.0,
+                max_queued_jobs=100, max_inflight_specs=100),
+            "queue-full": QuotaLimits(
+                rate=1e9, burst=1e9,
+                max_queued_jobs=0, max_inflight_specs=100),
+            "inflight-full": QuotaLimits(
+                rate=1e9, burst=1e9,
+                max_queued_jobs=100, max_inflight_specs=1),
+        }
+        host, port = server.address
+        try:
+            for code, limits in cases.items():
+                server.store.quota.limits = limits
+                tenant = f"hdr-{code}"
+                if code == "rate-limited":
+                    # Burn the single burst token (cache-served, so it
+                    # costs nothing); the next submission is the 429.
+                    ServiceClient(url, tenant=tenant).submit(SWEEP)
+                conn = http.client.HTTPConnection(host, port, timeout=30)
+                try:
+                    conn.request(
+                        "POST", "/v1/jobs", body=json.dumps(SWEEP),
+                        headers={"Content-Type": "application/json",
+                                 "X-Tenant": tenant})
+                    response = conn.getresponse()
+                    payload = json.loads(response.read())
+                    header = response.getheader("Retry-After")
+                finally:
+                    conn.close()
+                assert response.status == 429, code
+                assert payload["error"]["code"] == code
+                assert header is not None, \
+                    f"{code} 429 carries no Retry-After header"
+                assert float(header) > 0
+                assert float(header) == pytest.approx(
+                    payload["error"]["retry_after"], rel=1e-3)
+        finally:
+            server.store.quota.limits = saved
+
     def test_quota_rejection_is_structured_429(self, url, server,
                                                completed):
         limits = server.store.quota.limits
